@@ -1,0 +1,42 @@
+# Developer entry points; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race cover bench figures figures-full examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test ./... -race
+
+cover:
+	$(GO) test ./internal/... -cover
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every report figure at quick scale (minutes).
+figures:
+	$(GO) run ./cmd/figures -fig all
+
+# Report-scale sweeps: N up to 256 — hours of CPU and lots of memory.
+figures-full:
+	$(GO) run ./cmd/figures -fig all -full
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/optical
+	$(GO) run ./examples/pcs
+	$(GO) run ./examples/determinism
+	$(GO) run ./examples/custommodel
+	$(GO) run ./examples/tracing
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,137 @@
+// Package cmdtest builds the repository's binaries and drives them end to
+// end — the smoke layer above the unit and integration suites.
+package cmdtest
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var binDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "repro-cli")
+	if err != nil {
+		panic(err)
+	}
+	binDir = dir
+	for _, tool := range []string{"hotpotato", "figures", "phold"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "repro/cmd/"+tool)
+		cmd.Dir = ".."
+		if out, err := cmd.CombinedOutput(); err != nil {
+			panic(string(out))
+		}
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func run(t *testing.T, tool string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, tool), args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", tool, args, err, out)
+	}
+	return string(out)
+}
+
+func runExpectError(t *testing.T, tool string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, tool), args...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("%s %v succeeded, expected failure:\n%s", tool, args, out)
+	}
+	return string(out)
+}
+
+// TestHotpotatoCLI covers the main binary's happy path and determinism.
+func TestHotpotatoCLI(t *testing.T) {
+	a := run(t, "hotpotato", "-n", "8", "-steps", "30", "-seed", "5", "-kernel")
+	for _, want := range []string{"packets delivered", "avg wait to inject", "events committed"} {
+		if !strings.Contains(a, want) {
+			t.Fatalf("output missing %q:\n%s", want, a)
+		}
+	}
+	// Same seed, parallel vs sequential: the statistics block must match.
+	b := run(t, "hotpotato", "-n", "8", "-steps", "30", "-seed", "5", "-sequential")
+	stats := func(out string) string {
+		idx := strings.Index(out, "network:")
+		end := strings.Index(out, "kernel:")
+		if end < 0 {
+			end = len(out)
+		}
+		return out[idx:end]
+	}
+	if stats(a) != stats(b) {
+		t.Fatalf("parallel and sequential CLI outputs differ:\n%s\nvs\n%s", stats(a), stats(b))
+	}
+}
+
+// TestHotpotatoCLIFlags covers policy, traffic, topology and error paths.
+func TestHotpotatoCLIFlags(t *testing.T) {
+	out := run(t, "hotpotato", "-n", "6", "-steps", "20", "-policy", "greedy",
+		"-traffic", "tornado", "-topology", "mesh", "-fill", "2", "-max-optimism", "4")
+	if !strings.Contains(out, "policy=greedy") || !strings.Contains(out, "mesh") {
+		t.Fatalf("flag echo missing:\n%s", out)
+	}
+	runExpectError(t, "hotpotato", "-policy", "warp9")
+	runExpectError(t, "hotpotato", "-traffic", "nope")
+	runExpectError(t, "hotpotato", "-n", "1")
+}
+
+// TestPholdCLI covers the benchmark binary.
+func TestPholdCLI(t *testing.T) {
+	out := run(t, "phold", "-lps", "64", "-end", "10", "-population", "2")
+	if !strings.Contains(out, "jobs processed") {
+		t.Fatalf("output missing totals:\n%s", out)
+	}
+	seq := run(t, "phold", "-lps", "64", "-end", "10", "-population", "2", "-sequential")
+	pick := func(s string) string {
+		for _, line := range strings.Split(s, "\n") {
+			if strings.Contains(line, "jobs processed") {
+				return line
+			}
+		}
+		return ""
+	}
+	if pick(out) != pick(seq) {
+		t.Fatalf("parallel %q != sequential %q", pick(out), pick(seq))
+	}
+	runExpectError(t, "phold", "-lps", "0")
+}
+
+// TestFiguresCLI regenerates one cheap figure with every output mode.
+func TestFiguresCLI(t *testing.T) {
+	outDir := t.TempDir()
+	out := run(t, "figures", "-fig", "queues", "-steps", "5", "-progress=false", "-out", outDir)
+	if !strings.Contains(out, "heap") || !strings.Contains(out, "splay") {
+		t.Fatalf("queue ablation output wrong:\n%s", out)
+	}
+	csv, err := os.ReadFile(filepath.Join(outDir, "queues.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "queue,") {
+		t.Fatalf("CSV header wrong: %q", string(csv)[:20])
+	}
+
+	det := run(t, "figures", "-fig", "determinism", "-steps", "20", "-progress=false")
+	if !strings.Contains(det, "RESULT: identical") {
+		t.Fatalf("determinism figure failed:\n%s", det)
+	}
+
+	chart := run(t, "figures", "-fig", "3", "-steps", "10", "-chart", "-csv", "-progress=false")
+	if !strings.Contains(chart, "legend:") {
+		t.Fatalf("chart output missing legend:\n%s", chart)
+	}
+	if !strings.Contains(chart, "# Figure 3") {
+		t.Fatalf("CSV mode missing title comment:\n%s", chart)
+	}
+	runExpectError(t, "figures", "-fig", "99")
+}

@@ -1,0 +1,122 @@
+// Command hotpotato runs one hot-potato routing simulation and prints the
+// network statistics block (and, with -kernel, the Time Warp kernel
+// statistics), mirroring the report's simulation executable.
+//
+// Examples:
+//
+//	hotpotato -n 32 -steps 200
+//	hotpotato -n 64 -inject 50 -policy greedy -pes 4 -kps 64
+//	hotpotato -n 16 -sequential -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/hotpotato"
+	"repro/internal/routing"
+	"repro/internal/traffic"
+)
+
+func main() {
+	var (
+		n          = flag.Int("n", 32, "network side length (N×N torus)")
+		topo       = flag.String("topology", "torus", "topology: torus or mesh")
+		steps      = flag.Int("steps", 100, "simulation duration in time steps")
+		inject     = flag.Float64("inject", 100, "percentage of routers with injection applications (0-100)")
+		fill       = flag.Int("fill", 4, "initial packets per router (0-4)")
+		policyName = flag.String("policy", "busch", "routing policy: busch, greedy, dimorder, maxadvance")
+		pattern    = flag.String("traffic", "uniform", "traffic pattern: uniform, transpose, complement, tornado, neighbor, hotspot[:frac]")
+		absorb     = flag.Bool("absorb-sleeping", true, "absorb sleeping packets at their destination (practical mode)")
+		heartbeat  = flag.Bool("heartbeat", false, "schedule per-step HEARTBEAT events at every router")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		pes        = flag.Int("pes", 0, "processing elements (0 = GOMAXPROCS)")
+		kps        = flag.Int("kps", 64, "kernel processes (the report's model uses 64)")
+		queue      = flag.String("queue", "heap", "pending queue: heap or splay")
+		maxOpt     = flag.Float64("max-optimism", 0, "bound speculation to this many steps beyond GVT (0 = unlimited)")
+		sequential = flag.Bool("sequential", false, "run the sequential reference engine instead of Time Warp")
+		kernel     = flag.Bool("kernel", false, "also print kernel statistics")
+		progress   = flag.Bool("progress", false, "report GVT progress to stderr during long parallel runs")
+	)
+	flag.Parse()
+
+	policy, err := routing.ByName(*policyName)
+	if err != nil {
+		fatal(err)
+	}
+	traf, err := traffic.ByName(*pattern)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := hotpotato.Config{
+		N:               *n,
+		Topology:        *topo,
+		Policy:          policy,
+		Traffic:         traf,
+		InjectorPercent: *inject,
+		AbsorbSleeping:  *absorb,
+		InitialFill:     *fill,
+		Steps:           *steps,
+		Heartbeat:       *heartbeat,
+		Seed:            *seed,
+		NumPEs:          *pes,
+		NumKPs:          *kps,
+		Queue:           *queue,
+		MaxOptimism:     core.Time(*maxOpt),
+	}
+	if *progress && !*sequential {
+		// Throttle to roughly one line per percent of virtual time; OnGVT
+		// runs with all PEs paused, so keep it cheap.
+		var last core.Time = -1
+		stride := core.Time(*steps) / 100
+		if stride < 1 {
+			stride = 1
+		}
+		cfg.OnGVT = func(gvt core.Time) {
+			if gvt-last >= stride {
+				last = gvt
+				fmt.Fprintf(os.Stderr, "gvt %.0f / %d\n", float64(gvt), *steps)
+			}
+		}
+	}
+
+	var (
+		totals hotpotato.Totals
+		ks     *core.Stats
+	)
+	if *sequential {
+		seq, model, err := hotpotato.BuildSequential(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		ks, err = seq.Run()
+		if err != nil {
+			fatal(err)
+		}
+		totals = model.Totals(seq)
+	} else {
+		sim, model, err := hotpotato.Build(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		ks, err = sim.Run()
+		if err != nil {
+			fatal(err)
+		}
+		totals = model.Totals(sim)
+	}
+
+	fmt.Printf("hot-potato routing: %dx%d %s, policy=%s, %d steps, seed=%d\n",
+		*n, *n, cfg.Topology, policy.Name(), *steps, *seed)
+	fmt.Print(totals)
+	if *kernel {
+		fmt.Print(ks)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hotpotato:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,80 @@
+// Determinism demo (the report's Attachment 3): run the same hot-potato
+// configuration on the sequential engine and on the optimistic parallel
+// kernel, and show that every statistic matches exactly.
+//
+// The report's argument (§4.2.1): an optimistic simulator executes events
+// out of order and rolls back, so the only way its results can equal the
+// sequential run is if the synchronization is airtight and simultaneous
+// events are fully ordered — which the per-packet jitter randomisation
+// plus the kernel's total event order guarantee.
+//
+//	go run ./examples/determinism
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/hotpotato"
+)
+
+func main() {
+	cfg := hotpotato.DefaultConfig(16)
+	cfg.Steps = 100
+	cfg.Seed = 2002 // the report's year
+
+	seq, seqModel, err := hotpotato.BuildSequential(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := seq.Run(); err != nil {
+		log.Fatal(err)
+	}
+	seqTotals := seqModel.Totals(seq)
+
+	pcfg := cfg
+	pcfg.NumPEs = 4
+	pcfg.NumKPs = 64
+	pcfg.BatchSize = 8 // small batches provoke more optimism and rollbacks
+	pcfg.GVTInterval = 4
+	sim, parModel, err := hotpotato.Build(pcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ks, err := sim.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	parTotals := parModel.Totals(sim)
+
+	// Third engine: the conservative window-synchronous executor.
+	ccfg := cfg
+	ccfg.NumPEs = 4
+	cons, consModel, err := hotpotato.BuildConservative(ccfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cks, err := cons.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	consTotals := consModel.Totals(cons)
+
+	fmt.Println("sequential engine:")
+	fmt.Print(seqTotals)
+	fmt.Printf("\nparallel Time Warp (%d PEs, %d KPs, %d events rolled back):\n",
+		ks.NumPEs, ks.NumKPs, ks.RolledBackEvents)
+	fmt.Print(parTotals)
+	fmt.Printf("\nconservative engine (%d PEs, %d windows):\n", cks.NumPEs, cks.GVTRounds)
+	fmt.Print(consTotals)
+
+	if seqTotals == parTotals && seqTotals == consTotals {
+		fmt.Println("\nRESULT: every statistic identical across all three engines —")
+		fmt.Println("the model is deterministic and repeatable, despite optimistic")
+		fmt.Println("execution with rollbacks on one engine and windowed barriers on another.")
+		return
+	}
+	fmt.Println("\nRESULT: MISMATCH — this should never happen; please file a bug.")
+	os.Exit(1)
+}

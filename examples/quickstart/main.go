@@ -1,0 +1,37 @@
+// Quickstart: simulate hot-potato routing on a 16×16 bufferless torus for
+// 100 synchronous steps and print the network statistics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/hotpotato"
+)
+
+func main() {
+	// The default configuration is the report's standard scenario: every
+	// router injects one packet per step, the network starts full (four
+	// packets per router), and the Busch–Herlihy–Wattenhofer algorithm
+	// routes them.
+	cfg := hotpotato.DefaultConfig(16)
+	cfg.Steps = 100
+	cfg.Seed = 42
+
+	sim, model, err := hotpotato.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kernelStats, err := sim.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	totals := model.Totals(sim)
+	fmt.Println("hot-potato routing on a 16x16 torus, 100 steps")
+	fmt.Print(totals)
+	fmt.Printf("\nsimulated %d events at %.0f events/s on %d PEs\n",
+		kernelStats.Committed, kernelStats.EventRate, kernelStats.NumPEs)
+}

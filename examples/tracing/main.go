@@ -1,0 +1,73 @@
+// Tracing demo: follow individual packets through the optimistic
+// simulation, safely.
+//
+// Printing from Forward is misleading under Time Warp — the handler runs
+// speculatively and may be rolled back, so naive logs contain events that
+// never (finally) happened. The trace package records events at commit
+// time instead, and sorts the dump into the deterministic event order, so
+// the parallel run's trace below is byte-identical to what a sequential
+// run would log.
+//
+//	go run ./examples/tracing
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/hotpotato"
+	"repro/internal/trace"
+)
+
+func main() {
+	cfg := hotpotato.DefaultConfig(4) // tiny fabric so the trace is readable
+	cfg.InjectorPercent = 0           // static drain: just the initial fill
+	cfg.InitialFill = 1
+	cfg.Steps = 30
+	cfg.Seed = 3
+	cfg.NumPEs = 2
+
+	sim, model, err := hotpotato.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Wrap every router's handler; describe deliveries and routing hops.
+	rec := trace.NewRecorder(0)
+	describe := func(lp *core.LP, ev *core.Event) string {
+		msg, ok := ev.Data.(*hotpotato.Msg)
+		if !ok || msg == nil {
+			return "?"
+		}
+		switch msg.Kind {
+		case hotpotato.KindArrive:
+			if msg.P.Dst == lp.ID {
+				return fmt.Sprintf("DELIVERED %d->%d after %d hops (%s)",
+					msg.P.Src, msg.P.Dst, msg.P.Hops, msg.P.Prio)
+			}
+			return fmt.Sprintf("arrive    %d->%d hop %d (%s)", msg.P.Src, msg.P.Dst, msg.P.Hops, msg.P.Prio)
+		case hotpotato.KindRoute:
+			return fmt.Sprintf("route     %d->%d", msg.P.Src, msg.P.Dst)
+		default:
+			return msg.Kind.String()
+		}
+	}
+	sim.ForEachLP(func(lp *core.LP) {
+		lp.Handler = trace.Wrap(lp.Handler, rec, describe)
+	})
+
+	ks, err := sim.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("4x4 torus static drain: %d events committed on %d PEs (%d rolled back)\n\n",
+		ks.Committed, ks.NumPEs, ks.RolledBackEvents)
+	if err := rec.Dump(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	totals := model.Totals(sim)
+	fmt.Printf("\n%d packets delivered, avg %.2f steps\n", totals.Delivered, totals.AvgDelivery)
+}

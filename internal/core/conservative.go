@@ -1,0 +1,305 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/eventq"
+)
+
+// Conservative is a window-synchronous conservative parallel executor —
+// the classical alternative to Time Warp that the optimistic literature
+// (and this repository's comparison experiment) measures against.
+//
+// It relies on a model-declared Lookahead: a strictly positive lower
+// bound on every event's send delay. Events in the half-open window
+// [T, T+Lookahead), where T is the global minimum pending time, cannot
+// affect each other across LPs (anything they send lands at or beyond
+// T+Lookahead), so all PEs may execute their share of the window in
+// parallel with no possibility of rollback. The engine barriers between
+// windows to agree on the next T.
+//
+// Its performance lives and dies by the lookahead-to-activity ratio: the
+// hot-potato model's sub-step schedule offers a usable lookahead (0.05
+// steps), while models that forward messages in nanoseconds (pcs, qnet)
+// degenerate to one barrier per event — which is exactly the argument for
+// optimistic synchronisation, reproduced here as an experiment.
+//
+// Results are bit-identical to the Sequential engine: within a window,
+// cross-LP events are independent, and each PE executes its own LPs'
+// events in the kernel's total order.
+type Conservative struct {
+	cfg       Config
+	lookahead Time
+	lps       []*LP
+	pes       []*consPE
+	bar       *barrier
+	bootSeq   uint64
+	ran       bool
+
+	windowMins []Time
+	windowEnd  Time // current window [start, end) shared after barrier
+	done       bool
+
+	failOnce sync.Once
+	failErr  error
+
+	windows   int64
+	processed int64
+}
+
+// consPE is one conservative worker: a pending queue and a mailbox, no
+// rollback machinery.
+type consPE struct {
+	id        int
+	sim       *Conservative
+	pending   eventq.Queue[*Event]
+	inbox     mailbox
+	batch     []mail
+	processed int64
+}
+
+// NewConservative builds the conservative engine. lookahead must be a
+// strictly positive lower bound on every send delay the model performs;
+// the engine enforces it at Send time and fails the run on violation.
+func NewConservative(cfg Config, lookahead Time) (*Conservative, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	if !(lookahead > 0) {
+		return nil, errors.New("core: conservative lookahead must be positive")
+	}
+	c := &Conservative{cfg: cfg, lookahead: lookahead}
+	c.pes = make([]*consPE, cfg.NumPEs)
+	for i := range c.pes {
+		pe := &consPE{id: i, sim: c}
+		pe.pending = newEventQueue(cfg.Queue)
+		c.pes[i] = pe
+	}
+	c.lps = make([]*LP, cfg.NumLPs)
+	for i := range c.lps {
+		kpID := cfg.KPOfLP(i)
+		peID := cfg.PEOfKP(kpID)
+		lp := &LP{
+			ID:  LPID(i),
+			rng: newLPStream(cfg.Seed, i),
+			eng: c.pes[peID],
+			kp:  &KP{id: kpID},
+		}
+		c.lps[i] = lp
+	}
+	c.bar = newBarrier(cfg.NumPEs)
+	c.windowMins = make([]Time, cfg.NumPEs)
+	return c, nil
+}
+
+// NumLPs returns the number of logical processes.
+func (c *Conservative) NumLPs() int { return len(c.lps) }
+
+// LP returns the logical process with the given ID.
+func (c *Conservative) LP(id LPID) *LP { return c.lps[id] }
+
+// ForEachLP applies fn to every LP in ID order.
+func (c *Conservative) ForEachLP(fn func(lp *LP)) {
+	for _, lp := range c.lps {
+		fn(lp)
+	}
+}
+
+// Schedule enqueues a bootstrap event; same semantics as
+// Simulator.Schedule.
+func (c *Conservative) Schedule(dst LPID, t Time, data any) {
+	if c.ran {
+		panic("core: Schedule after Run")
+	}
+	if t < 0 {
+		panic("core: Schedule with negative time")
+	}
+	if dst < 0 || int(dst) >= len(c.lps) {
+		panic("core: Schedule to unknown LP")
+	}
+	ev := &Event{recvTime: t, dst: dst, src: NoLP, seq: c.bootSeq, Data: data}
+	c.bootSeq++
+	ev.state = statePending
+	c.peOf(dst).pending.Push(ev)
+}
+
+func (c *Conservative) peOf(dst LPID) *consPE {
+	return c.lps[dst].eng.(*consPE)
+}
+
+// scheduleNew implements engine: route to the owning PE, enforcing the
+// declared lookahead.
+func (pe *consPE) scheduleNew(from *LP, ev *Event) {
+	c := pe.sim
+	// Allow a ULP of slack: recvTime is now+delay after rounding, so an
+	// exactly-lookahead delay can land a hair below it.
+	if delay := ev.recvTime - from.cur.recvTime; delay < c.lookahead-c.lookahead*1e-12 {
+		panic(fmt.Sprintf("core: conservative lookahead violated: delay %g < declared %g",
+			float64(delay), float64(c.lookahead)))
+	}
+	dst := c.peOf(ev.dst)
+	ev.state = statePending
+	if dst == pe {
+		pe.pending.Push(ev)
+		return
+	}
+	dst.inbox.post(mail{ev: ev})
+}
+
+// lookup implements engine.
+func (pe *consPE) lookup(id LPID) *LP {
+	c := pe.sim
+	if id < 0 || int(id) >= len(c.lps) {
+		return nil
+	}
+	return c.lps[id]
+}
+
+func (c *Conservative) fail(err error) {
+	c.failOnce.Do(func() {
+		c.failErr = err
+		c.bar.poison()
+	})
+}
+
+// Run executes windows until the horizon. It may be called once.
+func (c *Conservative) Run() (*Stats, error) {
+	if c.ran {
+		return nil, errors.New("core: Run called twice")
+	}
+	c.ran = true
+	for _, lp := range c.lps {
+		if lp.Handler == nil {
+			return nil, fmt.Errorf("core: LP %d has no handler", lp.ID)
+		}
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, len(c.pes))
+	for i, pe := range c.pes {
+		wg.Add(1)
+		go func(i int, pe *consPE) {
+			defer wg.Done()
+			errs[i] = pe.run()
+		}(i, pe)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if c.failErr != nil {
+		return nil, c.failErr
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	st := &Stats{
+		Processed: c.processed,
+		Committed: c.processed,
+		GVTRounds: c.windows, // window rounds play GVT's role
+		NumPEs:    len(c.pes),
+		NumKPs:    len(c.pes),
+		Wall:      wall,
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		st.EventRate = float64(st.Committed) / secs
+	}
+	st.Efficiency = 1
+	return st, nil
+}
+
+// run is one conservative worker's loop: agree on a window, execute it,
+// repeat.
+func (pe *consPE) run() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			buf := make([]byte, 16<<10)
+			buf = buf[:runtime.Stack(buf, false)]
+			err = fmt.Errorf("core: conservative PE %d panicked: %v\n%s", pe.id, r, buf)
+			pe.sim.fail(err)
+		}
+	}()
+	c := pe.sim
+	for {
+		// Drain cross-PE messages produced by the previous window.
+		msgs := pe.inbox.drainInto(pe.batch)
+		for _, m := range msgs {
+			pe.pending.Push(m.ev)
+		}
+		pe.batch = msgs
+
+		// Agree on the next window start: the global minimum pending time.
+		local := TimeInfinity
+		if ev, ok := pe.pending.Min(); ok {
+			local = ev.recvTime
+		}
+		c.windowMins[pe.id] = local
+		if err := c.bar.await(); err != nil {
+			return err
+		}
+		if pe.id == 0 {
+			min := TimeInfinity
+			for _, m := range c.windowMins {
+				if m < min {
+					min = m
+				}
+			}
+			c.windowEnd = min + c.lookahead
+			c.done = min >= c.cfg.EndTime
+			if !c.done {
+				c.windows++
+			}
+		}
+		if err := c.bar.await(); err != nil {
+			return err
+		}
+		if c.done {
+			return nil
+		}
+		end := c.windowEnd
+		if end > c.cfg.EndTime {
+			end = c.cfg.EndTime
+		}
+
+		// Execute this PE's share of the window; no other PE can produce
+		// events inside it, so no synchronisation is needed until the next
+		// barrier.
+		for {
+			ev, ok := pe.pending.Min()
+			if !ok || ev.recvTime >= end {
+				break
+			}
+			pe.pending.Pop()
+			lp := c.lps[ev.dst]
+			ev.state = stateProcessed
+			ev.Bits = 0
+			ev.prevSendSeq = lp.sendSeq
+			lp.mode = modeForward
+			lp.cur = ev
+			lp.Handler.Forward(lp, ev)
+			if committer, ok := lp.Handler.(Committer); ok {
+				lp.mode = modeCommit
+				committer.Commit(lp, ev)
+			}
+			lp.cur = nil
+			lp.mode = modeIdle
+			ev.state = stateCommitted
+			ev.sent = nil
+			ev.Data = nil
+			pe.processed++
+		}
+		if err := c.bar.await(); err != nil {
+			return err
+		}
+		if pe.id == 0 {
+			for _, p := range c.pes {
+				c.processed += p.processed
+				p.processed = 0
+			}
+		}
+	}
+}

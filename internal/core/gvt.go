@@ -1,0 +1,142 @@
+package core
+
+import (
+	"errors"
+	"sync"
+)
+
+// errBarrierBroken is returned from barrier waits after a PE has failed;
+// it unblocks every other PE so Run can surface the original error.
+var errBarrierBroken = errors.New("core: barrier broken by failed PE")
+
+// barrier is a reusable N-party barrier. poison wakes all waiters and makes
+// every subsequent await fail, which is how a panicking PE releases its
+// peers.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	arrived int
+	gen     uint64
+	broken  bool
+}
+
+func newBarrier(parties int) *barrier {
+	b := &barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.broken {
+		return errBarrierBroken
+	}
+	gen := b.gen
+	b.arrived++
+	if b.arrived == b.parties {
+		b.arrived = 0
+		b.gen++
+		b.cond.Broadcast()
+		return nil
+	}
+	for gen == b.gen && !b.broken {
+		b.cond.Wait()
+	}
+	if b.broken {
+		return errBarrierBroken
+	}
+	return nil
+}
+
+func (b *barrier) poison() {
+	b.mu.Lock()
+	b.broken = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// requestGVT asks every PE to rendezvous for a GVT round at its next
+// scheduling boundary.
+func (s *Simulator) requestGVT() {
+	s.gvtRequested.Store(true)
+}
+
+// gvtRound is the synchronous shared-memory GVT computation, run by every
+// PE together (cf. Fujimoto's GVT algorithm, which ROSS uses on shared
+// memory). The round first reaches a fixed point where no message is in
+// flight — each PE repeatedly drains its mailbox (which may trigger
+// rollbacks that send further anti-messages) until the global sent and
+// delivered counters agree — then takes GVT as the minimum pending event
+// time across PEs, fossil-collects, and decides termination.
+//
+// It returns done=true when GVT has passed the end time and this PE has
+// committed everything.
+func (pe *PE) gvtRound() (bool, error) {
+	s := pe.sim
+	if err := s.bar.await(); err != nil {
+		return false, err
+	}
+	for {
+		pe.drainMailbox()
+		if err := s.bar.await(); err != nil {
+			return false, err
+		}
+		if pe.id == 0 {
+			s.gvtStable.Store(s.sent.Load() == s.delivered.Load())
+		}
+		if err := s.bar.await(); err != nil {
+			return false, err
+		}
+		if s.gvtStable.Load() {
+			break
+		}
+	}
+
+	// All messages are now resident in pending queues; the local minimum
+	// over live pending events bounds everything this PE can still do.
+	local := TimeInfinity
+	if ev, ok := pe.nextLive(); ok {
+		local = ev.recvTime
+	}
+	s.localMins[pe.id] = local
+	if err := s.bar.await(); err != nil {
+		return false, err
+	}
+	if pe.id == 0 {
+		gvt := TimeInfinity
+		for _, m := range s.localMins {
+			if m < gvt {
+				gvt = m
+			}
+		}
+		s.setGVT(gvt)
+		s.gvtRounds++
+		if hook := s.cfg.OnGVT; hook != nil {
+			hook(gvt)
+		}
+		if gvt >= s.cfg.EndTime {
+			s.finished.Store(true)
+		}
+		s.gvtRequested.Store(false)
+	}
+	if err := s.bar.await(); err != nil {
+		return false, err
+	}
+	done := s.finished.Load()
+	gvt := s.GVT()
+	if done {
+		// Final round: every processed event is below the end time and can
+		// never be rolled back; commit them all.
+		gvt = TimeInfinity
+	}
+	pe.fossilCollect(gvt)
+	if s.cfg.CheckInvariants {
+		if err := pe.checkInvariants(gvt); err != nil {
+			s.fail(err)
+			return false, err
+		}
+	}
+	return done, nil
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestOnGVTMonotonic: GVT estimates must be non-decreasing and end at or
+// beyond the horizon (TimeInfinity once the population drains).
+func TestOnGVTMonotonic(t *testing.T) {
+	var mu sync.Mutex
+	var gvts []Time
+	cfg := Config{
+		NumLPs: 32, EndTime: 40, Seed: 5, NumPEs: 4, NumKPs: 8,
+		BatchSize: 4, GVTInterval: 2,
+		OnGVT: func(gvt Time) {
+			mu.Lock()
+			gvts = append(gvts, gvt)
+			mu.Unlock()
+		},
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := stressModel{numLPs: 32}
+	s.ForEachLP(func(lp *LP) { lp.Handler = model; lp.State = &stressState{} })
+	for i := 0; i < 32; i++ {
+		s.Schedule(LPID(i), Time(0.001*float64(i+1)), &stressMsg{TTL: 30})
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(gvts) == 0 {
+		t.Fatal("OnGVT never fired")
+	}
+	for i := 1; i < len(gvts); i++ {
+		if gvts[i] < gvts[i-1] {
+			t.Fatalf("GVT went backwards: %v then %v", gvts[i-1], gvts[i])
+		}
+	}
+	if last := gvts[len(gvts)-1]; last < cfg.EndTime {
+		t.Fatalf("final GVT %v below horizon %v", last, cfg.EndTime)
+	}
+}
+
+// TestOnRollbackMatchesStats: the hook's event counts must sum to the
+// kernel's rolled-back statistic, with the right secondary attribution.
+func TestOnRollbackMatchesStats(t *testing.T) {
+	var mu sync.Mutex
+	var hookEvents int64
+	var primary, secondary int64
+	cfg := Config{
+		NumLPs: 64, EndTime: 60, Seed: 11, NumPEs: 4, NumKPs: 8,
+		BatchSize: 2, GVTInterval: 1,
+		OnRollback: func(kp int, events int, sec bool) {
+			mu.Lock()
+			hookEvents += int64(events)
+			if sec {
+				secondary++
+			} else {
+				primary++
+			}
+			mu.Unlock()
+		},
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := stressModel{numLPs: 64}
+	s.ForEachLP(func(lp *LP) { lp.Handler = model; lp.State = &stressState{} })
+	for i := 0; i < 64; i++ {
+		s.Schedule(LPID(i), Time(0.001*float64(i+1)), &stressMsg{TTL: 30})
+	}
+	stats, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hookEvents != stats.RolledBackEvents {
+		t.Fatalf("hook saw %d rolled-back events, stats %d", hookEvents, stats.RolledBackEvents)
+	}
+	if primary != stats.PrimaryRollbacks || secondary != stats.SecondaryRollbacks {
+		t.Fatalf("hook rollbacks %d/%d, stats %d/%d",
+			primary, secondary, stats.PrimaryRollbacks, stats.SecondaryRollbacks)
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import "fmt"
+
+// This file implements the kernel's paranoid mode: structural invariant
+// checks that run at every GVT round, when all PEs are quiescent and no
+// message is in flight. The checks are aimed at model authors — a Reverse
+// handler that fails to restore state, or a handler that mutates another
+// LP's state directly, surfaces here as a precise error instead of a
+// mysteriously wrong statistic at the end of the run.
+
+// checkInvariants validates this PE's structures. Called between GVT
+// barriers (quiescent), after fossil collection, with the just-computed
+// GVT.
+func (pe *PE) checkInvariants(gvt Time) error {
+	for _, kp := range pe.kps {
+		// Processed lists ascend strictly in the total event order and
+		// hold only processed events at or above the commit horizon.
+		var prev *Event
+		for i := kp.head; i < len(kp.processed); i++ {
+			ev := kp.processed[i]
+			if ev == nil {
+				return fmt.Errorf("core: invariant: KP %d has nil processed entry", kp.id)
+			}
+			if ev.state != stateProcessed {
+				return fmt.Errorf("core: invariant: KP %d processed list holds event in state %d (%v)",
+					kp.id, ev.state, ev)
+			}
+			if prev != nil && !prev.before(ev) {
+				return fmt.Errorf("core: invariant: KP %d processed list out of order: %v then %v",
+					kp.id, prev, ev)
+			}
+			prev = ev
+		}
+		// lastKey agrees with the tail.
+		if tail := kp.tail(); tail != nil {
+			if !kp.hasLast || kp.lastKey != tail.key() {
+				return fmt.Errorf("core: invariant: KP %d lastKey stale", kp.id)
+			}
+		}
+	}
+	// Pending events belong to this PE, are pending or cancelled, and —
+	// for live ones — sort after their KP's last processed event (the
+	// straggler rule's postcondition).
+	var err error
+	pe.pending.Each(func(ev *Event) {
+		if err != nil {
+			return
+		}
+		switch ev.state {
+		case statePending:
+			kp := pe.sim.lps[ev.dst].kp
+			if kp.pe != pe {
+				err = fmt.Errorf("core: invariant: PE %d queue holds event for PE %d (%v)",
+					pe.id, kp.pe.id, ev)
+				return
+			}
+			if kp.hasLast && ev.beforeKey(kp.lastKey) {
+				err = fmt.Errorf("core: invariant: pending event %v precedes KP %d's last processed",
+					ev, kp.id)
+				return
+			}
+		case stateCanceled:
+			// Awaiting lazy removal; fine.
+		default:
+			err = fmt.Errorf("core: invariant: queued event in state %d (%v)", ev.state, ev)
+		}
+	})
+	return err
+}

@@ -1,0 +1,50 @@
+package core
+
+import "testing"
+
+// TestKPStatsConsistent: per-KP statistics must sum to the kernel totals
+// and the memory high-water mark must be positive for a run with work.
+func TestKPStatsConsistent(t *testing.T) {
+	cfg := Config{NumLPs: 64, EndTime: 50, Seed: 3, NumPEs: 4, NumKPs: 8, BatchSize: 4, GVTInterval: 2}
+	_, stats := runStressParallel(t, cfg, 20)
+	if len(stats.KPs) != stats.NumKPs {
+		t.Fatalf("got %d KP entries, want %d", len(stats.KPs), stats.NumKPs)
+	}
+	var committed, rolled, prim, sec int64
+	peak := 0
+	for _, kp := range stats.KPs {
+		if kp.PE < 0 || kp.PE >= stats.NumPEs {
+			t.Fatalf("KP %d on invalid PE %d", kp.ID, kp.PE)
+		}
+		committed += kp.Committed
+		rolled += kp.RolledBackEvents
+		prim += kp.PrimaryRollbacks
+		sec += kp.SecondaryRollbacks
+		peak += kp.PeakLiveEvents
+	}
+	if committed != stats.Committed {
+		t.Fatalf("KP committed sum %d != total %d", committed, stats.Committed)
+	}
+	if rolled != stats.RolledBackEvents || prim != stats.PrimaryRollbacks || sec != stats.SecondaryRollbacks {
+		t.Fatalf("KP rollback sums disagree with totals")
+	}
+	if peak != stats.PeakLiveEvents || peak <= 0 {
+		t.Fatalf("peak live events %d (sum %d)", stats.PeakLiveEvents, peak)
+	}
+}
+
+// TestMaxOptimismReducesPeakLive: bounding speculation must bound the
+// optimistic memory footprint.
+func TestMaxOptimismReducesPeakLive(t *testing.T) {
+	run := func(maxOpt Time) int {
+		cfg := Config{NumLPs: 64, EndTime: 100, Seed: 5, NumPEs: 4, NumKPs: 8,
+			BatchSize: 64, GVTInterval: 32, MaxOptimism: maxOpt}
+		_, stats := runStressParallel(t, cfg, 50)
+		return stats.PeakLiveEvents
+	}
+	wild := run(0)
+	tame := run(1)
+	if tame > wild {
+		t.Fatalf("throttled peak %d > unthrottled %d", tame, wild)
+	}
+}

@@ -1,0 +1,147 @@
+package core
+
+import "repro/internal/rng"
+
+// Handler is the model-side behaviour of a logical process. Forward
+// executes an event, mutating the LP's State and sending new events;
+// Reverse must exactly undo Forward's mutations of State, using values the
+// model saved in the event's Data payload and Bits scratch. The kernel
+// itself undoes everything else: events Forward sent are cancelled, random
+// draws are rewound, and the send sequence is restored.
+//
+// Reverse is called with events in the exact reverse of processing order,
+// so a handler may rely on LIFO undo semantics.
+type Handler interface {
+	Forward(lp *LP, ev *Event)
+	Reverse(lp *LP, ev *Event)
+}
+
+// Committer is optionally implemented by handlers that want a callback
+// once an event is irrevocably in the past (below GVT). Commit runs during
+// fossil collection in per-LP event order and is the safe place for
+// irreversible actions: I/O, appending to output logs, final tallies.
+type Committer interface {
+	Commit(lp *LP, ev *Event)
+}
+
+// lpMode guards the operations legal in each handler phase: only Forward
+// may send events or draw randomness.
+type lpMode uint8
+
+const (
+	modeIdle lpMode = iota
+	modeForward
+	modeReverse
+	modeCommit
+)
+
+// LP is one logical process. Handler and State are set by the model during
+// setup (before Run); everything else is kernel-owned. An LP is only ever
+// touched by the PE that owns its KP, so handlers need no locking.
+type LP struct {
+	// ID is the dense identifier of this LP.
+	ID LPID
+	// Handler implements the model's event processing; required.
+	Handler Handler
+	// State is the model's mutable per-LP state.
+	State any
+
+	kp      *KP
+	rng     *rng.Stream
+	sendSeq uint64
+	cur     *Event
+	mode    lpMode
+	eng     engine
+}
+
+// engine abstracts the parallel and sequential executors behind LP.Send.
+type engine interface {
+	// scheduleNew routes a freshly created event to its destination.
+	scheduleNew(from *LP, ev *Event)
+	// lookup returns the LP with the given ID.
+	lookup(id LPID) *LP
+}
+
+// Now returns the receive time of the event being handled. It is valid in
+// Forward, Reverse and Commit.
+func (lp *LP) Now() Time {
+	if lp.cur == nil {
+		panic("core: LP.Now called outside an event handler")
+	}
+	return lp.cur.recvTime
+}
+
+// Rand draws a uniform variate in (0,1) from the LP's reversible stream.
+// Only legal during Forward; the kernel rewinds the draws automatically if
+// the event is rolled back, so Reverse must not (and cannot) re-draw.
+func (lp *LP) Rand() float64 {
+	lp.checkDraw()
+	return lp.rng.Uniform()
+}
+
+// RandInt draws a uniform integer in [lo, hi] inclusive (one draw).
+func (lp *LP) RandInt(lo, hi int64) int64 {
+	lp.checkDraw()
+	return lp.rng.Integer(lo, hi)
+}
+
+// RandExp draws an exponential variate with the given mean (one draw).
+func (lp *LP) RandExp(mean float64) float64 {
+	lp.checkDraw()
+	return lp.rng.Exponential(mean)
+}
+
+// RandBool is true with probability p (one draw).
+func (lp *LP) RandBool(p float64) bool {
+	lp.checkDraw()
+	return lp.rng.Bool(p)
+}
+
+func (lp *LP) checkDraw() {
+	if lp.mode != modeForward {
+		panic("core: random draw outside Forward (randomness must be replayable)")
+	}
+	lp.cur.rngDraws++
+}
+
+// Send schedules a new event for LP dst at Now()+delay carrying data.
+// delay must be strictly positive: zero-delay events would execute at the
+// same virtual time as their cause, and Time Warp's correctness argument
+// (and the report's synchronous network model) requires causes to strictly
+// precede effects. Only legal during Forward.
+func (lp *LP) Send(dst LPID, delay Time, data any) *Event {
+	if lp.mode != modeForward {
+		panic("core: Send outside Forward")
+	}
+	if !(delay > 0) {
+		panic("core: Send requires a strictly positive delay")
+	}
+	if target := lp.eng.lookup(dst); target == nil {
+		panic("core: Send to unknown LP")
+	}
+	ev := &Event{
+		recvTime: lp.cur.recvTime + delay,
+		dst:      dst,
+		src:      lp.ID,
+		seq:      lp.sendSeq,
+		Data:     data,
+	}
+	lp.sendSeq++
+	lp.cur.sent = append(lp.cur.sent, ev)
+	lp.eng.scheduleNew(lp, ev)
+	return ev
+}
+
+// SendSelf schedules an event for this LP itself.
+func (lp *LP) SendSelf(delay Time, data any) *Event {
+	return lp.Send(lp.ID, delay, data)
+}
+
+// KPID returns the kernel process this LP is mapped to; exposed so models
+// and experiments can report placement.
+func (lp *LP) KPID() int {
+	if lp.kp == nil {
+		return 0
+	}
+	return lp.kp.id
+}

@@ -1,0 +1,340 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/eventq"
+)
+
+// minIdleThreshold is the initial number of empty scheduler passes before
+// an idle PE requests a GVT round.
+const minIdleThreshold = 16
+
+// mail is one message between PEs: a positive event or a cancellation
+// (anti-message) for one.
+type mail struct {
+	ev     *Event
+	cancel bool
+}
+
+// mailbox is a mutex-guarded multi-producer single-consumer queue. Posts
+// from all senders are totally ordered by the lock, which guarantees a
+// cancellation can never be drained before the positive message it chases.
+type mailbox struct {
+	mu  sync.Mutex
+	buf []mail
+}
+
+func (m *mailbox) post(msg mail) {
+	m.mu.Lock()
+	m.buf = append(m.buf, msg)
+	m.mu.Unlock()
+}
+
+// drainInto swaps the buffer out under the lock and returns it; the caller
+// recycles the previous batch slice to avoid churn.
+func (m *mailbox) drainInto(batch []mail) []mail {
+	m.mu.Lock()
+	out := m.buf
+	m.buf = batch[:0]
+	m.mu.Unlock()
+	return out
+}
+
+// PE is a processing element: one goroutine owning a set of KPs (and their
+// LPs), a pending-event queue, and a mailbox for events arriving from other
+// PEs. All state reachable from a PE's LPs is only ever touched by that
+// PE's goroutine.
+type PE struct {
+	id  int
+	sim *Simulator
+
+	pending eventq.Queue[*Event]
+	inbox   mailbox
+	batch   []mail // recycled drain buffer
+	kps     []*KP
+
+	sinceGVT      int
+	idleSpins     int
+	idleThreshold int
+
+	// Statistics (owned by this PE; read by others only after Run).
+	processed          int64
+	committed          int64
+	rolledBackEvents   int64
+	primaryRollbacks   int64
+	secondaryRollbacks int64
+	mailSent           int64
+	mailReceived       int64
+	canceledPending    int64
+	busy               time.Duration
+}
+
+// ID returns the PE index.
+func (pe *PE) ID() int { return pe.id }
+
+// post delivers a message from another PE; the global in-flight counter is
+// incremented before the post so the GVT round can detect transients.
+func (pe *PE) postRemote(msg mail) {
+	pe.sim.sent.Add(1)
+	pe.inbox.post(msg)
+}
+
+// drainMailbox pulls every queued message and applies it: positive events
+// are inserted (possibly triggering a primary rollback), cancellations are
+// resolved (possibly triggering a secondary rollback).
+func (pe *PE) drainMailbox() {
+	msgs := pe.inbox.drainInto(pe.batch)
+	if len(msgs) == 0 {
+		pe.batch = msgs
+		return
+	}
+	pe.sim.delivered.Add(int64(len(msgs)))
+	pe.mailReceived += int64(len(msgs))
+	for _, m := range msgs {
+		if m.cancel {
+			pe.cancelLocal(m.ev)
+		} else {
+			pe.insert(m.ev)
+		}
+	}
+	pe.batch = msgs
+}
+
+// insert adds an event to this PE's pending queue. If the event is in the
+// past of its KP, the KP is first rolled back to just before it (a primary
+// rollback).
+func (pe *PE) insert(ev *Event) {
+	kp := pe.sim.lps[ev.dst].kp
+	if kp.hasLast && ev.beforeKey(kp.lastKey) {
+		n := pe.rollback(kp, ev.key())
+		kp.primaryRollbacks++
+		pe.primaryRollbacks++
+		if hook := pe.sim.cfg.OnRollback; hook != nil {
+			hook(kp.id, n, false)
+		}
+	}
+	ev.state = statePending
+	pe.pending.Push(ev)
+}
+
+// cancelLocal resolves an anti-message whose target lives on this PE.
+func (pe *PE) cancelLocal(ev *Event) {
+	switch ev.state {
+	case statePending:
+		// Lazy removal: the event stays queued and is discarded when it
+		// surfaces at the top.
+		ev.state = stateCanceled
+		pe.canceledPending++
+	case stateProcessed:
+		kp := pe.sim.lps[ev.dst].kp
+		n := pe.rollback(kp, ev.key())
+		kp.secondaryRollbacks++
+		pe.secondaryRollbacks++
+		if hook := pe.sim.cfg.OnRollback; hook != nil {
+			hook(kp.id, n, true)
+		}
+		// The rollback returned the event to pending; discard it there.
+		ev.state = stateCanceled
+		pe.canceledPending++
+	case stateCanceled:
+		panic("core: event cancelled twice")
+	case stateCommitted:
+		panic("core: cancellation for a committed event (GVT violation)")
+	default:
+		panic("core: cancellation for an unscheduled event")
+	}
+}
+
+// rollback unprocesses every event in kp at or after key, in reverse
+// processing order: the model's Reverse handler runs, random draws are
+// rewound, the send sequence is restored, and every event the unprocessed
+// event had sent is cancelled (cascading to other PEs as anti-messages).
+// Unprocessed events return to the pending queue for re-execution. It
+// returns the number of events reversed.
+func (pe *PE) rollback(kp *KP, key eventKey) int {
+	n := 0
+	for {
+		tail := kp.tail()
+		if tail == nil || tail.beforeKey(key) {
+			break
+		}
+		kp.popTail()
+		pe.reverse(tail)
+		tail.state = statePending
+		pe.pending.Push(tail)
+		kp.rolledBackEvents++
+		pe.rolledBackEvents++
+		n++
+	}
+	return n
+}
+
+// reverse undoes one processed event.
+func (pe *PE) reverse(ev *Event) {
+	lp := pe.sim.lps[ev.dst]
+	lp.mode = modeReverse
+	lp.cur = ev
+	lp.Handler.Reverse(lp, ev)
+	lp.cur = nil
+	lp.mode = modeIdle
+	lp.rng.Reverse(uint64(ev.rngDraws))
+	ev.rngDraws = 0
+	lp.sendSeq = ev.prevSendSeq
+	for i := len(ev.sent) - 1; i >= 0; i-- {
+		pe.cancel(ev.sent[i])
+	}
+	ev.sent = ev.sent[:0]
+}
+
+// cancel routes a cancellation for a previously sent event to the PE that
+// owns its destination.
+func (pe *PE) cancel(ev *Event) {
+	dstPE := pe.sim.lps[ev.dst].kp.pe
+	if dstPE == pe {
+		pe.cancelLocal(ev)
+		return
+	}
+	pe.mailSent++
+	dstPE.postRemote(mail{ev: ev, cancel: true})
+}
+
+// scheduleNew implements engine for the parallel kernel: a freshly sent
+// event goes straight into the local queue when its destination is local,
+// or through the destination PE's mailbox otherwise.
+func (pe *PE) scheduleNew(from *LP, ev *Event) {
+	dstPE := pe.sim.lps[ev.dst].kp.pe
+	if dstPE == pe {
+		pe.insert(ev)
+		return
+	}
+	pe.mailSent++
+	dstPE.postRemote(mail{ev: ev})
+}
+
+// nextLive pops cancelled events off the top of the pending queue and
+// returns the first live one without removing it.
+func (pe *PE) nextLive() (*Event, bool) {
+	for {
+		ev, ok := pe.pending.Min()
+		if !ok {
+			return nil, false
+		}
+		if ev.state == stateCanceled {
+			pe.pending.Pop()
+			continue
+		}
+		return ev, true
+	}
+}
+
+// execute runs one event forward.
+func (pe *PE) execute(ev *Event) {
+	lp := pe.sim.lps[ev.dst]
+	kp := lp.kp
+	ev.state = stateProcessed
+	ev.Bits = 0
+	ev.prevSendSeq = lp.sendSeq
+	lp.mode = modeForward
+	lp.cur = ev
+	lp.Handler.Forward(lp, ev)
+	lp.cur = nil
+	lp.mode = modeIdle
+	kp.push(ev)
+	pe.processed++
+}
+
+// run is the PE goroutine body.
+func (pe *PE) run() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			buf := make([]byte, 16<<10)
+			buf = buf[:runtime.Stack(buf, false)]
+			err = fmt.Errorf("core: PE %d panicked: %v\n%s", pe.id, r, buf)
+			pe.sim.fail(err)
+		}
+	}()
+	s := pe.sim
+	start := time.Now()
+	defer func() { pe.busy = time.Since(start) }()
+	for {
+		pe.drainMailbox()
+
+		if s.gvtRequested.Load() {
+			done, gerr := pe.gvtRound()
+			if gerr != nil {
+				return gerr
+			}
+			if done {
+				return nil
+			}
+			continue
+		}
+
+		n := 0
+		horizon := s.cfg.EndTime
+		if s.cfg.MaxOptimism > 0 {
+			if h := s.GVT() + s.cfg.MaxOptimism; h < horizon {
+				horizon = h
+			}
+		}
+		for n < s.cfg.BatchSize {
+			ev, ok := pe.nextLive()
+			if !ok || ev.recvTime >= horizon {
+				break
+			}
+			pe.pending.Pop()
+			pe.execute(ev)
+			n++
+		}
+
+		if n == 0 {
+			// Nothing executable below the horizon. If the optimism
+			// throttle is what blocks us (work exists below the end time),
+			// only a GVT advance can unblock, so request a round promptly.
+			// Otherwise spin briefly (new mail may be en route) with an
+			// exponential backoff so a starved PE does not thrash the
+			// whole machine with barrier rounds.
+			throttled := false
+			if ev, ok := pe.nextLive(); ok && ev.recvTime < s.cfg.EndTime {
+				throttled = true
+			}
+			pe.idleSpins++
+			if throttled && pe.idleSpins >= minIdleThreshold {
+				pe.idleSpins = 0
+				s.requestGVT()
+			} else if pe.idleSpins >= pe.idleThreshold {
+				pe.idleSpins = 0
+				if pe.idleThreshold < 4096 {
+					pe.idleThreshold *= 2
+				}
+				s.requestGVT()
+			} else {
+				runtime.Gosched()
+			}
+			continue
+		}
+		pe.idleSpins = 0
+		pe.idleThreshold = minIdleThreshold
+		pe.sinceGVT += n
+		if pe.sinceGVT >= s.cfg.BatchSize*s.cfg.GVTInterval {
+			pe.sinceGVT = 0
+			s.requestGVT()
+		}
+	}
+}
+
+// lookup implements the engine interface by delegating to the simulator.
+func (pe *PE) lookup(id LPID) *LP { return pe.sim.lookup(id) }
+
+// fossilCollect commits all events below gvt on this PE's KPs.
+func (pe *PE) fossilCollect(gvt Time) {
+	for _, kp := range pe.kps {
+		before := kp.committed
+		kp.fossilCollect(gvt, pe)
+		pe.committed += kp.committed - before
+	}
+}

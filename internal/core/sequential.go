@@ -1,0 +1,152 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/eventq"
+	"repro/internal/rng"
+)
+
+// Sequential is an independent, non-optimistic executor for the same model
+// API: one event queue, strict order, no rollbacks. It exists for two
+// reasons. First, it is the reference the parallel kernel is validated
+// against — the report's correctness argument is that the parallel and
+// sequential simulations produce identical output (Attachment 3), and the
+// test suite asserts exactly that. Second, it is the 1-processor baseline
+// of the speed-up experiments (Figures 5 and 6).
+type Sequential struct {
+	cfg     Config
+	lps     []*LP
+	pending eventq.Queue[*Event]
+	bootSeq uint64
+	ran     bool
+
+	processed int64
+}
+
+// NewSequential builds a sequential executor. Only NumLPs, EndTime, Seed
+// and Queue are consulted; the placement fields are irrelevant without
+// parallelism.
+func NewSequential(cfg Config) (*Sequential, error) {
+	if cfg.NumLPs <= 0 {
+		return nil, errors.New("core: Config.NumLPs must be positive")
+	}
+	if !(cfg.EndTime > 0) {
+		return nil, errors.New("core: Config.EndTime must be positive")
+	}
+	switch cfg.Queue {
+	case "", "heap", "splay":
+	default:
+		return nil, fmt.Errorf("core: unknown queue kind %q", cfg.Queue)
+	}
+	q := &Sequential{cfg: cfg}
+	q.lps = make([]*LP, cfg.NumLPs)
+	for i := range q.lps {
+		q.lps[i] = &LP{
+			ID:  LPID(i),
+			rng: rng.NewStream(streamID(cfg.Seed, i)),
+			eng: q,
+		}
+	}
+	q.pending = eventq.New[*Event](cfg.Queue, func(a, b *Event) bool { return a.before(b) })
+	return q, nil
+}
+
+// NumLPs returns the number of logical processes.
+func (q *Sequential) NumLPs() int { return len(q.lps) }
+
+// LP returns the logical process with the given ID.
+func (q *Sequential) LP(id LPID) *LP { return q.lps[id] }
+
+// ForEachLP applies fn to every LP in ID order.
+func (q *Sequential) ForEachLP(fn func(lp *LP)) {
+	for _, lp := range q.lps {
+		fn(lp)
+	}
+}
+
+// Schedule enqueues a bootstrap event; same semantics as Simulator.Schedule.
+func (q *Sequential) Schedule(dst LPID, t Time, data any) {
+	if q.ran {
+		panic("core: Schedule after Run")
+	}
+	if t < 0 {
+		panic("core: Schedule with negative time")
+	}
+	if dst < 0 || int(dst) >= len(q.lps) {
+		panic("core: Schedule to unknown LP")
+	}
+	ev := &Event{recvTime: t, dst: dst, src: NoLP, seq: q.bootSeq, Data: data}
+	q.bootSeq++
+	ev.state = statePending
+	q.pending.Push(ev)
+}
+
+// scheduleNew implements engine: new events go straight into the queue.
+func (q *Sequential) scheduleNew(_ *LP, ev *Event) {
+	ev.state = statePending
+	q.pending.Push(ev)
+}
+
+// lookup implements engine.
+func (q *Sequential) lookup(id LPID) *LP {
+	if id < 0 || int(id) >= len(q.lps) {
+		return nil
+	}
+	return q.lps[id]
+}
+
+// Run executes events in order until the queue drains or the end time is
+// reached. Commit callbacks fire immediately after each Forward — in the
+// sequential world every event is final the moment it executes.
+func (q *Sequential) Run() (*Stats, error) {
+	if q.ran {
+		return nil, errors.New("core: Run called twice")
+	}
+	q.ran = true
+	for _, lp := range q.lps {
+		if lp.Handler == nil {
+			return nil, fmt.Errorf("core: LP %d has no handler", lp.ID)
+		}
+	}
+	start := time.Now()
+	for {
+		ev, ok := q.pending.Min()
+		if !ok || ev.recvTime >= q.cfg.EndTime {
+			break
+		}
+		q.pending.Pop()
+		lp := q.lps[ev.dst]
+		ev.state = stateProcessed
+		ev.Bits = 0
+		ev.prevSendSeq = lp.sendSeq
+		lp.mode = modeForward
+		lp.cur = ev
+		lp.Handler.Forward(lp, ev)
+		if committer, ok := lp.Handler.(Committer); ok {
+			lp.mode = modeCommit
+			committer.Commit(lp, ev)
+		}
+		lp.cur = nil
+		lp.mode = modeIdle
+		ev.state = stateCommitted
+		ev.sent = nil
+		ev.Data = nil
+		q.processed++
+	}
+	wall := time.Since(start)
+	st := &Stats{
+		Processed: q.processed,
+		Committed: q.processed,
+		NumPEs:    1,
+		NumKPs:    1,
+		Wall:      wall,
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		st.EventRate = float64(st.Committed) / secs
+	}
+	st.Efficiency = 1
+	return st, nil
+}

@@ -1,0 +1,338 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/eventq"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+// Config parameterises a simulation run.
+type Config struct {
+	// NumLPs is the number of logical processes; required.
+	NumLPs int
+	// NumPEs is the number of processing elements (goroutines). Defaults
+	// to GOMAXPROCS, capped at NumLPs.
+	NumPEs int
+	// NumKPs is the number of kernel processes. Defaults to 16 per PE
+	// (clamped to NumLPs); the report's model uses 64 total.
+	NumKPs int
+	// EndTime is the virtual time horizon; events at or beyond it never
+	// execute. Required and must be positive.
+	EndTime Time
+	// BatchSize is the number of events a PE executes between scheduler
+	// checks (mailbox drains, GVT flags). Default 32.
+	BatchSize int
+	// GVTInterval is the number of batches between GVT rounds. Default 16.
+	GVTInterval int
+	// Queue selects the pending-queue implementation: "heap" (default) or
+	// "splay".
+	Queue string
+	// CheckInvariants enables paranoid mode: at every GVT round, while the
+	// machine is quiescent, each PE validates its structural invariants
+	// (processed-list ordering, straggler postconditions, ownership).
+	// Costs a full queue scan per round; intended for model development
+	// and the test suite, not production runs.
+	CheckInvariants bool
+	// MaxOptimism, when positive, bounds speculation: a PE will not
+	// execute events more than this far beyond the last GVT estimate
+	// (ROSS's max_opt_lookahead). It trades idle time for rollback
+	// volume — essential when PEs outnumber cores and one PE can race
+	// far ahead while another is descheduled. 0 means unlimited.
+	MaxOptimism Time
+	// Seed offsets every LP's random stream, so distinct seeds give
+	// statistically independent runs while identical seeds reproduce runs
+	// exactly (regardless of PE/KP counts).
+	Seed uint64
+	// KPOfLP optionally overrides the LP→KP mapping. The default tiles a
+	// √NumLPs-square grid into rectangular KP blocks (the report's
+	// locality-preserving mapping) when NumLPs is a perfect square, and
+	// splits LPs into contiguous runs otherwise.
+	KPOfLP func(lp int) int
+	// PEOfKP optionally overrides the KP→PE mapping. The default groups
+	// contiguous KPs.
+	PEOfKP func(kp int) int
+
+	// OnGVT, when set, is called once per GVT round with the new estimate
+	// (TimeInfinity when the event population has drained). It runs on
+	// PE 0 while every PE is paused at the round's barrier, so it may
+	// read simulator state but must not block for long.
+	OnGVT func(gvt Time)
+	// OnRollback, when set, is called after each rollback with the KP
+	// that rolled back, how many events were reversed, and whether the
+	// cause was a cancellation (secondary) rather than a straggler. It
+	// runs on the owning PE's goroutine in the scheduling hot path.
+	OnRollback func(kp int, events int, secondary bool)
+}
+
+func (cfg *Config) setDefaults() error {
+	if cfg.NumLPs <= 0 {
+		return errors.New("core: Config.NumLPs must be positive")
+	}
+	if !(cfg.EndTime > 0) {
+		return errors.New("core: Config.EndTime must be positive")
+	}
+	if cfg.NumPEs <= 0 {
+		cfg.NumPEs = runtime.GOMAXPROCS(0)
+	}
+	if cfg.NumPEs > cfg.NumLPs {
+		cfg.NumPEs = cfg.NumLPs
+	}
+	if cfg.NumKPs <= 0 {
+		cfg.NumKPs = 16 * cfg.NumPEs
+	}
+	if cfg.NumKPs > cfg.NumLPs {
+		cfg.NumKPs = cfg.NumLPs
+	}
+	if cfg.NumKPs < cfg.NumPEs {
+		cfg.NumKPs = cfg.NumPEs
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.GVTInterval <= 0 {
+		cfg.GVTInterval = 16
+	}
+	if cfg.KPOfLP == nil || cfg.PEOfKP == nil {
+		side := int(math.Round(math.Sqrt(float64(cfg.NumLPs))))
+		if side*side == cfg.NumLPs && side >= 2 {
+			m := topology.NewBlockMapping(side, cfg.NumKPs, cfg.NumPEs)
+			cfg.NumKPs = m.NumKPs()
+			cfg.NumPEs = m.NumPEs()
+			if cfg.KPOfLP == nil {
+				cfg.KPOfLP = m.KPOfLP
+			}
+			if cfg.PEOfKP == nil {
+				cfg.PEOfKP = m.PEOfKP
+			}
+		} else {
+			nLPs, nKPs, nPEs := cfg.NumLPs, cfg.NumKPs, cfg.NumPEs
+			if cfg.KPOfLP == nil {
+				cfg.KPOfLP = func(lp int) int { return lp * nKPs / nLPs }
+			}
+			if cfg.PEOfKP == nil {
+				cfg.PEOfKP = func(kp int) int { return kp * nPEs / nKPs }
+			}
+		}
+	}
+	switch cfg.Queue {
+	case "", "heap", "splay":
+	default:
+		return fmt.Errorf("core: unknown queue kind %q", cfg.Queue)
+	}
+	return nil
+}
+
+// Host is the setup interface shared by the parallel Simulator and the
+// Sequential reference engine; models install themselves against it so one
+// setup function serves both (which is what makes the sequential-vs-
+// parallel equality tests possible).
+type Host interface {
+	NumLPs() int
+	LP(LPID) *LP
+	ForEachLP(func(*LP))
+	Schedule(dst LPID, t Time, data any)
+}
+
+// Simulator is the optimistic parallel kernel. Build one with New, attach
+// handlers and bootstrap events, then Run.
+type Simulator struct {
+	cfg Config
+	lps []*LP
+	kps []*KP
+	pes []*PE
+
+	boot    []*Event
+	bootSeq uint64
+
+	bar          *barrier
+	sent         atomic.Int64
+	delivered    atomic.Int64
+	gvtRequested atomic.Bool
+	gvtStable    atomic.Bool
+	finished     atomic.Bool
+	gvtBits      atomic.Uint64
+	localMins    []Time
+	gvtRounds    int64
+
+	failOnce sync.Once
+	failErr  error
+
+	ran bool
+}
+
+// New builds a simulator: LPs, their KP/PE placement, queues and random
+// streams. Attach model handlers with ForEachLP or LP before calling Run.
+func New(cfg Config) (*Simulator, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	s := &Simulator{cfg: cfg}
+	s.kps = make([]*KP, cfg.NumKPs)
+	s.pes = make([]*PE, cfg.NumPEs)
+	for i := range s.pes {
+		s.pes[i] = &PE{id: i, sim: s, idleThreshold: minIdleThreshold}
+	}
+	for i := range s.kps {
+		peID := cfg.PEOfKP(i)
+		if peID < 0 || peID >= cfg.NumPEs {
+			return nil, fmt.Errorf("core: PEOfKP(%d) = %d out of range", i, peID)
+		}
+		kp := &KP{id: i, pe: s.pes[peID]}
+		s.kps[i] = kp
+		s.pes[peID].kps = append(s.pes[peID].kps, kp)
+	}
+	s.lps = make([]*LP, cfg.NumLPs)
+	for i := range s.lps {
+		kpID := cfg.KPOfLP(i)
+		if kpID < 0 || kpID >= cfg.NumKPs {
+			return nil, fmt.Errorf("core: KPOfLP(%d) = %d out of range", i, kpID)
+		}
+		kp := s.kps[kpID]
+		lp := &LP{
+			ID:  LPID(i),
+			kp:  kp,
+			rng: rng.NewStream(streamID(cfg.Seed, i)),
+			eng: kp.pe,
+		}
+		s.lps[i] = lp
+	}
+	for _, pe := range s.pes {
+		less := func(a, b *Event) bool { return a.before(b) }
+		pe.pending = eventq.New[*Event](cfg.Queue, less)
+	}
+	s.bar = newBarrier(cfg.NumPEs)
+	s.localMins = make([]Time, cfg.NumPEs)
+	s.setGVT(0)
+	return s, nil
+}
+
+// streamID spaces LP streams so different seeds and different LPs never
+// collide in practice.
+func streamID(seed uint64, lp int) uint64 {
+	return seed*0x9E3779B1 + uint64(lp)
+}
+
+// newEventQueue builds a pending queue ordered by the kernel's total
+// event order; shared by all three engines.
+func newEventQueue(kind string) eventq.Queue[*Event] {
+	return eventq.New[*Event](kind, func(a, b *Event) bool { return a.before(b) })
+}
+
+// newLPStream builds the reversible stream for one LP under a seed.
+func newLPStream(seed uint64, lp int) *rng.Stream {
+	return rng.NewStream(streamID(seed, lp))
+}
+
+// NumLPs returns the number of logical processes.
+func (s *Simulator) NumLPs() int { return len(s.lps) }
+
+// NumKPs returns the number of kernel processes after mapping adjustment.
+func (s *Simulator) NumKPs() int { return len(s.kps) }
+
+// NumPEs returns the number of processing elements after mapping
+// adjustment.
+func (s *Simulator) NumPEs() int { return len(s.pes) }
+
+// LP returns the logical process with the given ID.
+func (s *Simulator) LP(id LPID) *LP { return s.lps[id] }
+
+// ForEachLP applies fn to every LP in ID order; the idiomatic place to
+// install handlers and initial state.
+func (s *Simulator) ForEachLP(fn func(lp *LP)) {
+	for _, lp := range s.lps {
+		fn(lp)
+	}
+}
+
+// Schedule enqueues a bootstrap event before the run starts. Bootstrap
+// events have source NoLP and a global sequence, so their order is as
+// deterministic as every other event's.
+func (s *Simulator) Schedule(dst LPID, t Time, data any) {
+	if s.ran {
+		panic("core: Schedule after Run")
+	}
+	if t < 0 {
+		panic("core: Schedule with negative time")
+	}
+	if dst < 0 || int(dst) >= len(s.lps) {
+		panic("core: Schedule to unknown LP")
+	}
+	ev := &Event{recvTime: t, dst: dst, src: NoLP, seq: s.bootSeq, Data: data}
+	s.bootSeq++
+	s.boot = append(s.boot, ev)
+}
+
+// GVT returns the last computed global virtual time.
+func (s *Simulator) GVT() Time {
+	return Time(math.Float64frombits(s.gvtBits.Load()))
+}
+
+func (s *Simulator) setGVT(t Time) {
+	s.gvtBits.Store(math.Float64bits(float64(t)))
+}
+
+// lookup implements part of the engine interface on the simulator's
+// behalf; PEs delegate to it.
+func (s *Simulator) lookup(id LPID) *LP {
+	if id < 0 || int(id) >= len(s.lps) {
+		return nil
+	}
+	return s.lps[id]
+}
+
+func (s *Simulator) fail(err error) {
+	s.failOnce.Do(func() {
+		s.failErr = err
+		s.finished.Store(true)
+		s.bar.poison()
+	})
+}
+
+// Run executes the simulation to completion and returns kernel statistics.
+// It may be called once.
+func (s *Simulator) Run() (*Stats, error) {
+	if s.ran {
+		return nil, errors.New("core: Run called twice")
+	}
+	s.ran = true
+	for _, lp := range s.lps {
+		if lp.Handler == nil {
+			return nil, fmt.Errorf("core: LP %d has no handler", lp.ID)
+		}
+	}
+	for _, ev := range s.boot {
+		s.lps[ev.dst].kp.pe.insert(ev)
+	}
+	s.boot = nil
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, len(s.pes))
+	for i, pe := range s.pes {
+		wg.Add(1)
+		go func(i int, pe *PE) {
+			defer wg.Done()
+			errs[i] = pe.run()
+		}(i, pe)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	if s.failErr != nil {
+		return nil, s.failErr
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s.collectStats(wall), nil
+}

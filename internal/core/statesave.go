@@ -1,0 +1,83 @@
+package core
+
+// This file implements copy state saving, the rollback technique of the
+// Georgia Tech Time Warp system that ROSS's reverse computation replaced
+// (report §3.2.1): instead of undoing an event's effects, the kernel
+// snapshots the LP state before every event and reinstates the snapshot
+// on rollback.
+//
+// It exists both as a convenience — models without hand-written Reverse
+// handlers can still run optimistically — and as the ablation the report
+// implies: the state-saving vs reverse-computation benchmark quantifies
+// why ROSS's approach wins when state is large relative to each event's
+// footprint.
+
+// SnapshotModel is the model contract for state saving: Forward as usual,
+// plus deep-copy in and out of lp.State.
+type SnapshotModel interface {
+	// Forward executes the event, exactly as Handler.Forward.
+	Forward(lp *LP, ev *Event)
+	// Snapshot returns a copy of lp.State sufficient to reinstate it;
+	// it must not alias mutable memory reachable from lp.State.
+	Snapshot(lp *LP) any
+	// Restore reinstates a snapshot produced by Snapshot into lp.State.
+	Restore(lp *LP, snap any)
+}
+
+// stateSaver adapts one LP's SnapshotModel to the Handler interface. It
+// keeps the per-LP snapshot history: pushed on Forward, popped from the
+// top on Reverse (rollback is LIFO), dropped from the bottom on Commit.
+type stateSaver struct {
+	m     SnapshotModel
+	snaps []any
+	base  int
+}
+
+// StateSaving adapts a SnapshotModel to the kernel's Handler interface
+// using copy state saving. The returned handler holds that LP's snapshot
+// stack, so create one adapter per LP:
+//
+//	h.ForEachLP(func(lp *core.LP) {
+//	    lp.Handler = core.StateSaving(model)
+//	    lp.State = newState()
+//	})
+func StateSaving(m SnapshotModel) Handler {
+	return &stateSaver{m: m}
+}
+
+// Forward implements Handler: snapshot, then execute.
+func (s *stateSaver) Forward(lp *LP, ev *Event) {
+	s.snaps = append(s.snaps, s.m.Snapshot(lp))
+	s.m.Forward(lp, ev)
+}
+
+// Reverse implements Handler: reinstate the pre-event snapshot.
+func (s *stateSaver) Reverse(lp *LP, ev *Event) {
+	top := len(s.snaps) - 1
+	s.m.Restore(lp, s.snaps[top])
+	s.snaps[top] = nil
+	s.snaps = s.snaps[:top]
+}
+
+// Commit implements Committer: the pre-event snapshot of a committed
+// event can never be needed again; drop it (and chain to the model's own
+// Commit if it has one).
+func (s *stateSaver) Commit(lp *LP, ev *Event) {
+	if committer, ok := s.m.(Committer); ok {
+		committer.Commit(lp, ev)
+	}
+	s.base++
+	// Compact once the dead prefix dominates.
+	if s.base > 64 && s.base > len(s.snaps)/2 {
+		n := copy(s.snaps, s.snaps[s.base:])
+		for i := n; i < len(s.snaps); i++ {
+			s.snaps[i] = nil
+		}
+		s.snaps = s.snaps[:n]
+		s.base = 0
+	}
+}
+
+// depth returns the live snapshot count (uncommitted events); exposed for
+// tests.
+func (s *stateSaver) depth() int { return len(s.snaps) - s.base }

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// snapStressModel is the stress model expressed without a Reverse
+// handler: state saving carries the rollback burden.
+type snapStressModel struct {
+	numLPs int64
+}
+
+func (m snapStressModel) Forward(lp *LP, ev *Event) {
+	st := lp.State.(*stressState)
+	st.Hash = st.Hash*1099511628211 ^ uint64(ev.Src()+1)<<17 ^ uint64(ev.RecvTime()*1e6)
+	st.Counter++
+	msg := ev.Data.(*stressMsg)
+	if msg.TTL > 0 {
+		dst := LPID(lp.RandInt(0, m.numLPs-1))
+		lp.Send(dst, Time(lp.RandExp(1.0))+0.001, &stressMsg{TTL: msg.TTL - 1})
+	}
+}
+
+func (m snapStressModel) Snapshot(lp *LP) any {
+	st := *lp.State.(*stressState)
+	return &st
+}
+
+func (m snapStressModel) Restore(lp *LP, snap any) {
+	*lp.State.(*stressState) = *snap.(*stressState)
+}
+
+// TestStateSavingMatchesReverseComputation: the same model realised via
+// copy state saving must commit the identical history the reverse-
+// computation version commits — across sequential and parallel engines.
+func TestStateSavingMatchesReverseComputation(t *testing.T) {
+	cfg := Config{NumLPs: 48, EndTime: 40, Seed: 13}
+	want, wantStats := runStressSequential(t, cfg, 15)
+
+	build := func(pcfg Config) []stressState {
+		s, err := New(pcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := snapStressModel{numLPs: int64(pcfg.NumLPs)}
+		s.ForEachLP(func(lp *LP) {
+			lp.Handler = StateSaving(model)
+			lp.State = &stressState{}
+		})
+		for i := 0; i < pcfg.NumLPs; i++ {
+			s.Schedule(LPID(i), Time(0.001*float64(i+1)), &stressMsg{TTL: 15})
+		}
+		stats, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Committed != wantStats.Committed {
+			t.Fatalf("committed %d, want %d", stats.Committed, wantStats.Committed)
+		}
+		return snapshotStress(pcfg.NumLPs, s.LP)
+	}
+
+	for _, pes := range []int{1, 4} {
+		pcfg := cfg
+		pcfg.NumPEs = pes
+		pcfg.NumKPs = 8
+		pcfg.BatchSize = 4
+		pcfg.GVTInterval = 2
+		got := build(pcfg)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("pes=%d LP %d: state-saving %+v != reverse-comp %+v", pes, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestStateSavingDepthBounded: fossil collection must trim the snapshot
+// stacks, keeping memory proportional to the uncommitted window.
+func TestStateSavingDepthBounded(t *testing.T) {
+	s, err := New(Config{NumLPs: 4, NumPEs: 1, EndTime: 5000, GVTInterval: 2, BatchSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := snapStressModel{numLPs: 4}
+	s.ForEachLP(func(lp *LP) {
+		lp.Handler = StateSaving(model)
+		lp.State = &stressState{}
+	})
+	// Self-perpetuating traffic: high TTL keeps events flowing to the end.
+	for i := 0; i < 4; i++ {
+		s.Schedule(LPID(i), Time(0.001*float64(i+1)), &stressMsg{TTL: 1 << 30})
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s.ForEachLP(func(lp *LP) {
+		saver := lp.Handler.(*stateSaver)
+		if got := len(saver.snaps); got > 4096 {
+			t.Fatalf("LP %d snapshot slice grew to %d — commit trimming broken", lp.ID, got)
+		}
+	})
+}
+
+// BenchmarkRollbackStrategy compares reverse computation against copy
+// state saving on a model whose state is a K-word vector mutated one word
+// per event — the regime where the report's §3.2.1 choice matters. Each
+// iteration executes a window of events, rolls all of them back, and
+// re-executes.
+func BenchmarkRollbackStrategy(b *testing.B) {
+	const window = 32
+	for _, stateWords := range []int{16, 256, 4096} {
+		// Reverse computation: undo one word using the value saved in the
+		// message.
+		b.Run(fmt.Sprintf("reverse/words%d", stateWords), func(b *testing.B) {
+			benchStrategy(b, stateWords, window, false)
+		})
+		// State saving: copy the whole vector every event.
+		b.Run(fmt.Sprintf("snapshot/words%d", stateWords), func(b *testing.B) {
+			benchStrategy(b, stateWords, window, true)
+		})
+	}
+}
+
+type vecState struct{ words []int64 }
+
+type vecMsg struct {
+	idx   int
+	saved int64
+}
+
+type vecReverse struct{}
+
+func (vecReverse) Forward(lp *LP, ev *Event) {
+	st := lp.State.(*vecState)
+	m := ev.Data.(*vecMsg)
+	m.saved = st.words[m.idx]
+	st.words[m.idx] = m.saved*31 + 7
+}
+func (vecReverse) Reverse(lp *LP, ev *Event) {
+	st := lp.State.(*vecState)
+	m := ev.Data.(*vecMsg)
+	st.words[m.idx] = m.saved
+}
+
+type vecSnapshot struct{}
+
+func (vecSnapshot) Forward(lp *LP, ev *Event) {
+	st := lp.State.(*vecState)
+	m := ev.Data.(*vecMsg)
+	st.words[m.idx] = st.words[m.idx]*31 + 7
+}
+func (vecSnapshot) Snapshot(lp *LP) any {
+	st := lp.State.(*vecState)
+	cp := make([]int64, len(st.words))
+	copy(cp, st.words)
+	return &vecState{words: cp}
+}
+func (vecSnapshot) Restore(lp *LP, snap any) {
+	st := lp.State.(*vecState)
+	copy(st.words, snap.(*vecState).words)
+}
+
+func benchStrategy(b *testing.B, stateWords, window int, snapshotting bool) {
+	s, err := New(Config{NumLPs: 1, NumPEs: 1, EndTime: 1e15})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if snapshotting {
+		s.LP(0).Handler = StateSaving(vecSnapshot{})
+	} else {
+		s.LP(0).Handler = vecReverse{}
+	}
+	s.LP(0).State = &vecState{words: make([]int64, stateWords)}
+	pe := s.pes[0]
+	now := Time(1)
+	seq := uint64(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := now
+		for w := 0; w < window; w++ {
+			pe.insert(&Event{recvTime: now, dst: 0, src: NoLP, seq: seq,
+				Data: &vecMsg{idx: int(seq) % stateWords}})
+			seq++
+			now++
+			ev, _ := pe.nextLive()
+			pe.pending.Pop()
+			pe.execute(ev)
+		}
+		pe.insert(&Event{recvTime: base - 0.5, dst: 0, src: NoLP, seq: seq, Data: &vecMsg{}})
+		seq++
+		for {
+			ev, ok := pe.nextLive()
+			if !ok {
+				break
+			}
+			pe.pending.Pop()
+			pe.execute(ev)
+		}
+		pe.fossilCollect(now)
+	}
+}

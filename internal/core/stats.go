@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// PEStats are per-processing-element kernel counters.
+type PEStats struct {
+	ID                 int
+	Processed          int64
+	Committed          int64
+	RolledBackEvents   int64
+	PrimaryRollbacks   int64
+	SecondaryRollbacks int64
+	MailSent           int64
+	MailReceived       int64
+	Busy               time.Duration
+}
+
+// KPStats are per-kernel-process counters — the rollback-locality data
+// behind the report's Figure 7 discussion.
+type KPStats struct {
+	ID                 int
+	PE                 int
+	Committed          int64
+	RolledBackEvents   int64
+	PrimaryRollbacks   int64
+	SecondaryRollbacks int64
+	// PeakLiveEvents is the high-water mark of executed-but-uncommitted
+	// events, the KP's contribution to optimistic memory pressure.
+	PeakLiveEvents int
+}
+
+// Stats summarises a run of the kernel. Processed counts every forward
+// execution including ones later rolled back; Committed counts events that
+// survived to fossil collection — the sequential-equivalent work. The
+// difference, RolledBackEvents, is the report's "Total Events Rolled Back"
+// (Figures 7a–c), and EventRate is its "events per second" (Figures 5, 8).
+type Stats struct {
+	Processed          int64
+	Committed          int64
+	RolledBackEvents   int64
+	PrimaryRollbacks   int64
+	SecondaryRollbacks int64
+	MailSent           int64
+	MailReceived       int64
+	GVTRounds          int64
+	NumPEs             int
+	NumKPs             int
+	Wall               time.Duration
+	EventRate          float64 // committed events per wall-clock second
+	Efficiency         float64 // committed / processed
+	// PeakLiveEvents sums the per-KP high-water marks: the optimistic
+	// memory footprint in events.
+	PeakLiveEvents int
+	PEs            []PEStats
+	KPs            []KPStats
+}
+
+func (s *Simulator) collectStats(wall time.Duration) *Stats {
+	st := &Stats{
+		GVTRounds: s.gvtRounds,
+		NumPEs:    len(s.pes),
+		NumKPs:    len(s.kps),
+		Wall:      wall,
+	}
+	for _, pe := range s.pes {
+		ps := PEStats{
+			ID:                 pe.id,
+			Processed:          pe.processed,
+			Committed:          pe.committed,
+			RolledBackEvents:   pe.rolledBackEvents,
+			PrimaryRollbacks:   pe.primaryRollbacks,
+			SecondaryRollbacks: pe.secondaryRollbacks,
+			MailSent:           pe.mailSent,
+			MailReceived:       pe.mailReceived,
+			Busy:               pe.busy,
+		}
+		st.PEs = append(st.PEs, ps)
+		st.Processed += ps.Processed
+		st.Committed += ps.Committed
+		st.RolledBackEvents += ps.RolledBackEvents
+		st.PrimaryRollbacks += ps.PrimaryRollbacks
+		st.SecondaryRollbacks += ps.SecondaryRollbacks
+		st.MailSent += ps.MailSent
+		st.MailReceived += ps.MailReceived
+	}
+	for _, kp := range s.kps {
+		st.KPs = append(st.KPs, KPStats{
+			ID:                 kp.id,
+			PE:                 kp.pe.id,
+			Committed:          kp.committed,
+			RolledBackEvents:   kp.rolledBackEvents,
+			PrimaryRollbacks:   kp.primaryRollbacks,
+			SecondaryRollbacks: kp.secondaryRollbacks,
+			PeakLiveEvents:     kp.peakLive,
+		})
+		st.PeakLiveEvents += kp.peakLive
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		st.EventRate = float64(st.Committed) / secs
+	}
+	if st.Processed > 0 {
+		st.Efficiency = float64(st.Committed) / float64(st.Processed)
+	}
+	return st
+}
+
+// String renders the statistics block in the spirit of the report's sample
+// output (Attachment 3).
+func (st *Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel: PEs=%d KPs=%d wall=%v\n", st.NumPEs, st.NumKPs, st.Wall.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  events committed:   %d\n", st.Committed)
+	fmt.Fprintf(&b, "  events processed:   %d\n", st.Processed)
+	fmt.Fprintf(&b, "  events rolled back: %d\n", st.RolledBackEvents)
+	fmt.Fprintf(&b, "  rollbacks:          %d primary, %d secondary\n", st.PrimaryRollbacks, st.SecondaryRollbacks)
+	fmt.Fprintf(&b, "  remote messages:    %d sent, %d received\n", st.MailSent, st.MailReceived)
+	fmt.Fprintf(&b, "  GVT rounds:         %d\n", st.GVTRounds)
+	fmt.Fprintf(&b, "  peak live events:   %d\n", st.PeakLiveEvents)
+	fmt.Fprintf(&b, "  event rate:         %.0f events/s\n", st.EventRate)
+	fmt.Fprintf(&b, "  efficiency:         %.3f committed/processed\n", st.Efficiency)
+	return b.String()
+}

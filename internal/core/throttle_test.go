@@ -1,0 +1,58 @@
+package core
+
+import "testing"
+
+// TestMaxOptimismPreservesResults: the throttle is a performance knob; it
+// must not change committed results.
+func TestMaxOptimismPreservesResults(t *testing.T) {
+	base := Config{NumLPs: 64, EndTime: 50, Seed: 7}
+	want, seqStats := runStressSequential(t, base, 20)
+
+	for _, maxOpt := range []Time{0.5, 2, 10} {
+		cfg := base
+		cfg.NumPEs = 4
+		cfg.NumKPs = 16
+		cfg.BatchSize = 8
+		cfg.GVTInterval = 4
+		cfg.MaxOptimism = maxOpt
+		got, parStats := runStressParallel(t, cfg, 20)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("maxOpt=%v LP %d: %+v != %+v", maxOpt, i, got[i], want[i])
+			}
+		}
+		if parStats.Committed != seqStats.Committed {
+			t.Fatalf("maxOpt=%v: committed %d != %d", maxOpt, parStats.Committed, seqStats.Committed)
+		}
+	}
+}
+
+// TestMaxOptimismBoundsSpeculation: with an aggressive over-optimistic
+// configuration, enabling the throttle must cut the rolled-back volume
+// substantially.
+func TestMaxOptimismBoundsSpeculation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive comparison")
+	}
+	run := func(maxOpt Time) *Stats {
+		cfg := Config{
+			NumLPs: 128, EndTime: 120, Seed: 11, NumPEs: 8, NumKPs: 16,
+			BatchSize: 256, GVTInterval: 64, MaxOptimism: maxOpt,
+		}
+		_, stats := runStressParallel(t, cfg, 60)
+		return stats
+	}
+	wild := run(0)
+	tame := run(2)
+	// The wild configuration on an oversubscribed host typically rolls
+	// back many times its committed volume; the throttle must keep it
+	// within a small multiple. Guard loosely to stay robust across hosts,
+	// but catch order-of-magnitude regressions.
+	if wild.RolledBackEvents > 0 && tame.RolledBackEvents > wild.RolledBackEvents {
+		t.Fatalf("throttle increased rollbacks: %d -> %d", wild.RolledBackEvents, tame.RolledBackEvents)
+	}
+	if tame.RolledBackEvents > 4*tame.Committed {
+		t.Fatalf("throttled run still rolled back %d events for %d committed",
+			tame.RolledBackEvents, tame.Committed)
+	}
+}

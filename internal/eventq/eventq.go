@@ -1,0 +1,283 @@
+// Package eventq provides the pending-event priority queues used by the
+// Time Warp kernel: a binary heap and a splay tree, both parameterised
+// over the element type and a strict-weak-ordering comparison function.
+//
+// ROSS ships a splay tree as its default pending queue and a heap as an
+// alternative; both are provided here so the event-queue ablation benchmark
+// can compare them under PDES access patterns (mostly-increasing inserts
+// with occasional rollback re-insertions).
+//
+// Queues are not safe for concurrent use; each processing element owns one.
+package eventq
+
+// Queue is the interface the kernel schedules through. Min returns the
+// smallest element without removing it; Pop removes and returns it. Both
+// return the zero value and false when the queue is empty.
+type Queue[T any] interface {
+	Push(T)
+	Min() (T, bool)
+	Pop() (T, bool)
+	Len() int
+	// Each visits every element in unspecified order; used by the
+	// kernel's invariant checker and by diagnostics. The queue must not
+	// be mutated during the visit.
+	Each(func(T))
+}
+
+// New returns a queue of the named kind ("heap" or "splay"); it defaults to
+// "splay" for an empty kind and panics on anything else.
+func New[T any](kind string, less func(a, b T) bool) Queue[T] {
+	switch kind {
+	case "heap":
+		return NewHeap(less)
+	case "splay", "":
+		return NewSplay(less)
+	default:
+		panic("eventq: unknown queue kind " + kind)
+	}
+}
+
+// Heap is a classic array-backed binary min-heap.
+type Heap[T any] struct {
+	less  func(a, b T) bool
+	items []T
+}
+
+// NewHeap returns an empty heap ordered by less.
+func NewHeap[T any](less func(a, b T) bool) *Heap[T] {
+	return &Heap[T]{less: less}
+}
+
+// Len returns the number of elements in the heap.
+func (h *Heap[T]) Len() int { return len(h.items) }
+
+// Push inserts v.
+func (h *Heap[T]) Push(v T) {
+	h.items = append(h.items, v)
+	h.up(len(h.items) - 1)
+}
+
+// Min returns the smallest element without removing it.
+func (h *Heap[T]) Min() (T, bool) {
+	if len(h.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	return h.items[0], true
+}
+
+// Pop removes and returns the smallest element.
+func (h *Heap[T]) Pop() (T, bool) {
+	if len(h.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	var zero T
+	h.items[last] = zero // release reference for GC
+	h.items = h.items[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	return top, true
+}
+
+// Each visits every element in array order.
+func (h *Heap[T]) Each(fn func(T)) {
+	for _, v := range h.items {
+		fn(v)
+	}
+}
+
+func (h *Heap[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			return
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *Heap[T]) down(i int) {
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && h.less(h.items[right], h.items[left]) {
+			smallest = right
+		}
+		if !h.less(h.items[smallest], h.items[i]) {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}
+
+// Splay is a bottom-less top-down splay tree keyed by the comparison
+// function. Equal elements are permitted; an element inserted equal to an
+// existing one lands on the right, so Pop returns equal elements in
+// insertion order (a property the kernel does not rely on — its comparator
+// is a total order — but which keeps behaviour predictable in tests).
+type Splay[T any] struct {
+	less func(a, b T) bool
+	root *splayNode[T]
+	n    int
+}
+
+type splayNode[T any] struct {
+	v           T
+	left, right *splayNode[T]
+}
+
+// NewSplay returns an empty splay tree ordered by less.
+func NewSplay[T any](less func(a, b T) bool) *Splay[T] {
+	return &Splay[T]{less: less}
+}
+
+// Len returns the number of elements in the tree.
+func (s *Splay[T]) Len() int { return s.n }
+
+// splay reorganises the tree so that the node closest to v (by the tree's
+// ordering) becomes the root. Standard top-down splay.
+func (s *Splay[T]) splay(v T) {
+	if s.root == nil {
+		return
+	}
+	var header splayNode[T]
+	l, r := &header, &header
+	t := s.root
+	for {
+		if s.less(v, t.v) {
+			if t.left == nil {
+				break
+			}
+			if s.less(v, t.left.v) { // rotate right
+				y := t.left
+				t.left = y.right
+				y.right = t
+				t = y
+				if t.left == nil {
+					break
+				}
+			}
+			r.left = t // link right
+			r = t
+			t = t.left
+		} else if s.less(t.v, v) {
+			if t.right == nil {
+				break
+			}
+			if s.less(t.right.v, v) { // rotate left
+				y := t.right
+				t.right = y.left
+				y.left = t
+				t = y
+				if t.right == nil {
+					break
+				}
+			}
+			l.right = t // link left
+			l = t
+			t = t.right
+		} else {
+			break
+		}
+	}
+	l.right = t.left
+	r.left = t.right
+	t.left = header.right
+	t.right = header.left
+	s.root = t
+}
+
+// Push inserts v.
+func (s *Splay[T]) Push(v T) {
+	n := &splayNode[T]{v: v}
+	if s.root == nil {
+		s.root = n
+		s.n = 1
+		return
+	}
+	s.splay(v)
+	if s.less(v, s.root.v) {
+		n.left = s.root.left
+		n.right = s.root
+		s.root.left = nil
+	} else {
+		n.right = s.root.right
+		n.left = s.root
+		s.root.right = nil
+	}
+	s.root = n
+	s.n++
+}
+
+// splayMin brings the minimum element to the root using zig/zig-zig
+// rotations down the left spine, halving the spine per pass (semi-splay),
+// which preserves the amortised O(log n) bound.
+func (s *Splay[T]) splayMin() {
+	t := s.root
+	for t != nil && t.left != nil {
+		l := t.left
+		if l.left != nil {
+			// zig-zig: rotate l above t, then l.left above l.
+			t.left = l.right
+			l.right = t
+			ll := l.left
+			l.left = ll.right
+			ll.right = l
+			t = ll
+		} else {
+			// zig: single rotation.
+			t.left = l.right
+			l.right = t
+			t = l
+		}
+	}
+	s.root = t
+}
+
+// Min returns the smallest element without removing it.
+func (s *Splay[T]) Min() (T, bool) {
+	if s.root == nil {
+		var zero T
+		return zero, false
+	}
+	s.splayMin()
+	return s.root.v, true
+}
+
+// Each visits every element in-order (ascending).
+func (s *Splay[T]) Each(fn func(T)) {
+	var walk func(n *splayNode[T])
+	walk = func(n *splayNode[T]) {
+		if n == nil {
+			return
+		}
+		walk(n.left)
+		fn(n.v)
+		walk(n.right)
+	}
+	walk(s.root)
+}
+
+// Pop removes and returns the smallest element.
+func (s *Splay[T]) Pop() (T, bool) {
+	if s.root == nil {
+		var zero T
+		return zero, false
+	}
+	s.splayMin()
+	v := s.root.v
+	s.root = s.root.right
+	s.n--
+	return v, true
+}

@@ -1,0 +1,216 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intLess(a, b int) bool { return a < b }
+
+// queues returns one of each implementation for table-driven tests.
+func queues() map[string]Queue[int] {
+	return map[string]Queue[int]{
+		"heap":  NewHeap(intLess),
+		"splay": NewSplay(intLess),
+	}
+}
+
+// TestEmptyQueue: Min/Pop on empty must report absence, Len must be zero.
+func TestEmptyQueue(t *testing.T) {
+	for name, q := range queues() {
+		if _, ok := q.Min(); ok {
+			t.Errorf("%s: Min on empty returned ok", name)
+		}
+		if _, ok := q.Pop(); ok {
+			t.Errorf("%s: Pop on empty returned ok", name)
+		}
+		if q.Len() != 0 {
+			t.Errorf("%s: empty Len = %d", name, q.Len())
+		}
+	}
+}
+
+// TestDrainIsSorted: pushing any slice and draining must yield it sorted.
+func TestDrainIsSorted(t *testing.T) {
+	for _, kind := range []string{"heap", "splay"} {
+		kind := kind
+		prop := func(vals []int) bool {
+			q := New[int](kind, intLess)
+			for _, v := range vals {
+				q.Push(v)
+			}
+			if q.Len() != len(vals) {
+				return false
+			}
+			want := append([]int(nil), vals...)
+			sort.Ints(want)
+			for _, w := range want {
+				got, ok := q.Pop()
+				if !ok || got != w {
+					return false
+				}
+			}
+			_, ok := q.Pop()
+			return !ok && q.Len() == 0
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", kind, err)
+		}
+	}
+}
+
+// TestMinMatchesPop: Min must always preview exactly what Pop returns.
+func TestMinMatchesPop(t *testing.T) {
+	for name, q := range queues() {
+		r := rand.New(rand.NewSource(42))
+		for i := 0; i < 2000; i++ {
+			q.Push(r.Intn(1000))
+			if r.Intn(3) == 0 {
+				m, ok1 := q.Min()
+				p, ok2 := q.Pop()
+				if ok1 != ok2 || m != p {
+					t.Fatalf("%s: Min %v/%v != Pop %v/%v", name, m, ok1, p, ok2)
+				}
+			}
+		}
+	}
+}
+
+// TestInterleavedAgainstReference drives both implementations through a
+// long random push/pop sequence in lockstep with a sorted-slice oracle.
+func TestInterleavedAgainstReference(t *testing.T) {
+	for name, q := range queues() {
+		r := rand.New(rand.NewSource(7))
+		var oracle []int
+		for i := 0; i < 5000; i++ {
+			if r.Intn(2) == 0 || len(oracle) == 0 {
+				v := r.Intn(100)
+				q.Push(v)
+				oracle = append(oracle, v)
+				sort.Ints(oracle)
+			} else {
+				got, ok := q.Pop()
+				if !ok {
+					t.Fatalf("%s: Pop failed with %d in oracle", name, len(oracle))
+				}
+				if got != oracle[0] {
+					t.Fatalf("%s: Pop = %d, oracle %d", name, got, oracle[0])
+				}
+				oracle = oracle[1:]
+			}
+			if q.Len() != len(oracle) {
+				t.Fatalf("%s: Len %d != oracle %d", name, q.Len(), len(oracle))
+			}
+		}
+	}
+}
+
+// TestDuplicates: equal keys must all come out, ordered stably enough to
+// all be equal.
+func TestDuplicates(t *testing.T) {
+	for name, q := range queues() {
+		for i := 0; i < 100; i++ {
+			q.Push(5)
+		}
+		q.Push(3)
+		q.Push(7)
+		if v, _ := q.Pop(); v != 3 {
+			t.Fatalf("%s: first pop %d", name, v)
+		}
+		for i := 0; i < 100; i++ {
+			if v, _ := q.Pop(); v != 5 {
+				t.Fatalf("%s: dup pop %d", name, v)
+			}
+		}
+		if v, _ := q.Pop(); v != 7 {
+			t.Fatalf("%s: last pop %d", name, v)
+		}
+	}
+}
+
+// TestMostlyIncreasingPattern mimics the PDES access pattern: timestamps
+// mostly increase, with occasional re-insertions in the past (rollbacks).
+func TestMostlyIncreasingPattern(t *testing.T) {
+	for name, q := range queues() {
+		r := rand.New(rand.NewSource(99))
+		now := 0
+		var oracle []int
+		for i := 0; i < 3000; i++ {
+			if r.Intn(4) != 0 || len(oracle) == 0 {
+				v := now + r.Intn(20)
+				if r.Intn(20) == 0 { // straggler-style past insert
+					v = now - r.Intn(5)
+				}
+				q.Push(v)
+				oracle = append(oracle, v)
+				sort.Ints(oracle)
+			} else {
+				got, _ := q.Pop()
+				if got != oracle[0] {
+					t.Fatalf("%s: pop %d want %d", name, got, oracle[0])
+				}
+				now = got
+				oracle = oracle[1:]
+			}
+		}
+	}
+}
+
+// TestPointerElements: the kernel stores *Event; ensure pointer elements
+// and custom comparators work and popped slots are released.
+func TestPointerElements(t *testing.T) {
+	type ev struct{ t float64 }
+	less := func(a, b *ev) bool { return a.t < b.t }
+	for _, kind := range []string{"heap", "splay"} {
+		q := New[*ev](kind, less)
+		q.Push(&ev{3})
+		q.Push(&ev{1})
+		q.Push(&ev{2})
+		want := []float64{1, 2, 3}
+		for _, w := range want {
+			got, ok := q.Pop()
+			if !ok || got.t != w {
+				t.Fatalf("%s: got %v want %v", kind, got, w)
+			}
+		}
+	}
+}
+
+// TestNewUnknownKindPanics guards the factory.
+func TestNewUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with unknown kind did not panic")
+		}
+	}()
+	New[int]("fibonacci", intLess)
+}
+
+// TestNewDefaultsToSplay: empty kind must produce a working queue.
+func TestNewDefaultsToSplay(t *testing.T) {
+	q := New[int]("", intLess)
+	q.Push(2)
+	q.Push(1)
+	if v, _ := q.Pop(); v != 1 {
+		t.Fatalf("default queue pop = %d", v)
+	}
+}
+
+func benchQueue(b *testing.B, kind string) {
+	q := New[int](kind, intLess)
+	r := rand.New(rand.NewSource(1))
+	// Hold a steady population of 4096 under the PDES hold pattern.
+	for i := 0; i < 4096; i++ {
+		q.Push(r.Intn(1 << 20))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, _ := q.Pop()
+		q.Push(v + r.Intn(64))
+	}
+}
+
+func BenchmarkHeapHold(b *testing.B)  { benchQueue(b, "heap") }
+func BenchmarkSplayHold(b *testing.B) { benchQueue(b, "splay") }

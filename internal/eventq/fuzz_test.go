@@ -1,0 +1,59 @@
+package eventq
+
+import (
+	"sort"
+	"testing"
+)
+
+// FuzzQueuesDifferential drives the heap and the splay tree through the
+// same operation sequence decoded from fuzz input and demands identical
+// behaviour — plus agreement with a sorted-slice oracle. Each input byte
+// encodes one operation: low bit selects push/pop, the remaining bits are
+// the pushed value.
+func FuzzQueuesDifferential(f *testing.F) {
+	f.Add([]byte{2, 4, 6, 1, 3, 5})
+	f.Add([]byte{0, 0, 0, 1, 1, 1})
+	f.Add([]byte{255, 254, 253, 252, 251})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		h := NewHeap(func(a, b int) bool { return a < b })
+		s := NewSplay(func(a, b int) bool { return a < b })
+		var oracle []int
+		for _, op := range ops {
+			if op&1 == 0 {
+				v := int(op >> 1)
+				h.Push(v)
+				s.Push(v)
+				oracle = append(oracle, v)
+				sort.Ints(oracle)
+			} else {
+				hv, hok := h.Pop()
+				sv, sok := s.Pop()
+				if hok != sok {
+					t.Fatalf("pop presence disagrees: heap %v splay %v", hok, sok)
+				}
+				if !hok {
+					if len(oracle) != 0 {
+						t.Fatalf("both empty but oracle has %d", len(oracle))
+					}
+					continue
+				}
+				if hv != sv || hv != oracle[0] {
+					t.Fatalf("pop: heap %d splay %d oracle %d", hv, sv, oracle[0])
+				}
+				oracle = oracle[1:]
+			}
+			if h.Len() != len(oracle) || s.Len() != len(oracle) {
+				t.Fatalf("lengths: heap %d splay %d oracle %d", h.Len(), s.Len(), len(oracle))
+			}
+		}
+		// Drain and compare the tails.
+		for len(oracle) > 0 {
+			hv, _ := h.Pop()
+			sv, _ := s.Pop()
+			if hv != sv || hv != oracle[0] {
+				t.Fatalf("drain: heap %d splay %d oracle %d", hv, sv, oracle[0])
+			}
+			oracle = oracle[1:]
+		}
+	})
+}

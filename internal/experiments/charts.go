@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// This file builds the ASCII renditions of the report's figures — the
+// actual curves, not just the tables — used by cmd/figures -chart.
+
+// Fig3Chart plots delivery time vs N, one series per load (Figure 3).
+func Fig3Chart(points []LoadPoint) stats.Chart {
+	return loadChart(points, "Figure 3: packet delivery time vs network diameter",
+		"avg delivery (steps)", func(p LoadPoint) float64 { return p.AvgDelivery })
+}
+
+// Fig4Chart plots injection wait vs N, one series per load (Figure 4).
+func Fig4Chart(points []LoadPoint) stats.Chart {
+	return loadChart(points, "Figure 4: wait to inject vs network diameter",
+		"avg wait (steps)", func(p LoadPoint) float64 { return p.AvgWait })
+}
+
+func loadChart(points []LoadPoint, title, ylabel string, value func(LoadPoint) float64) stats.Chart {
+	var xs []float64
+	seen := map[int]bool{}
+	for _, p := range points {
+		if !seen[p.N] {
+			seen[p.N] = true
+			xs = append(xs, float64(p.N))
+		}
+	}
+	c := stats.Chart{Title: title, XLabel: "N", YLabel: ylabel, X: xs}
+	for _, load := range loads {
+		var ys []float64
+		for _, p := range points {
+			if p.LoadPct == load {
+				ys = append(ys, value(p))
+			}
+		}
+		if len(ys) == len(xs) {
+			c.Series = append(c.Series, stats.ChartSeries{
+				Name: fmt.Sprintf("%.0f%%", load), Y: ys,
+			})
+		}
+	}
+	return c
+}
+
+// Fig5Chart plots event rate vs N, one series per PE count (Figure 5).
+func Fig5Chart(points []SpeedupPoint) stats.Chart {
+	var xs []float64
+	seen := map[int]bool{}
+	for _, p := range points {
+		if !seen[p.N] {
+			seen[p.N] = true
+			xs = append(xs, float64(p.N))
+		}
+	}
+	c := stats.Chart{
+		Title:  "Figure 5: parallel speed-up — event rate vs network diameter",
+		XLabel: "N", YLabel: "events/s", X: xs,
+	}
+	for _, pes := range peSweep {
+		var ys []float64
+		for _, p := range points {
+			if p.PEs == pes {
+				ys = append(ys, p.EventRate)
+			}
+		}
+		if len(ys) == len(xs) {
+			c.Series = append(c.Series, stats.ChartSeries{Name: fmt.Sprintf("%d PE", pes), Y: ys})
+		}
+	}
+	return c
+}
+
+// Fig7Chart plots events rolled back vs KP count, one series per network
+// size (Figure 7).
+func Fig7Chart(points []KPPoint) stats.Chart {
+	return kpChart(points, "Figure 7: total events rolled back vs number of KPs",
+		"events rolled back", func(p KPPoint) float64 { return float64(p.RolledBackEvents) })
+}
+
+// Fig8Chart plots event rate vs KP count (Figure 8).
+func Fig8Chart(points []KPPoint) stats.Chart {
+	return kpChart(points, "Figure 8: event rate vs number of KPs",
+		"events/s", func(p KPPoint) float64 { return p.EventRate })
+}
+
+func kpChart(points []KPPoint, title, ylabel string, value func(KPPoint) float64) stats.Chart {
+	var xs []float64
+	seenKP := map[int]bool{}
+	var sizes []int
+	seenN := map[int]bool{}
+	for _, p := range points {
+		if !seenKP[p.KPs] {
+			seenKP[p.KPs] = true
+			xs = append(xs, float64(p.KPs))
+		}
+		if !seenN[p.N] {
+			seenN[p.N] = true
+			sizes = append(sizes, p.N)
+		}
+	}
+	c := stats.Chart{Title: title, XLabel: "KPs", YLabel: ylabel, X: xs}
+	for _, n := range sizes {
+		var ys []float64
+		for _, p := range points {
+			if p.N == n {
+				ys = append(ys, value(p))
+			}
+		}
+		if len(ys) == len(xs) {
+			c.Series = append(c.Series, stats.ChartSeries{Name: fmt.Sprintf("%dx%d", n, n), Y: ys})
+		}
+	}
+	return c
+}
+
+// DistanceChart plots the E[delivery | distance] profile with the ideal
+// one-step-per-hop line for reference.
+func DistanceChart(points []ProfilePoint) stats.Chart {
+	var xs, ys, ideal []float64
+	for _, p := range points {
+		xs = append(xs, p.Distance)
+		ys = append(ys, p.AvgDelivery)
+		ideal = append(ideal, p.Distance)
+	}
+	return stats.Chart{
+		Title:  "Delivery time vs distance (SPAA 2001: expected O(n))",
+		XLabel: "source-destination distance", YLabel: "steps",
+		X: xs,
+		Series: []stats.ChartSeries{
+			{Name: "measured", Y: ys},
+			{Name: "1 step/hop ideal", Y: ideal},
+		},
+	}
+}

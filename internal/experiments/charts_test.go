@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestChartsRender: every figure chart must build from sweep points and
+// render with its series legend.
+func TestChartsRender(t *testing.T) {
+	loadPts := []LoadPoint{
+		{N: 8, LoadPct: 0, AvgDelivery: 5, AvgWait: 0},
+		{N: 8, LoadPct: 50, AvgDelivery: 6, AvgWait: 7},
+		{N: 8, LoadPct: 75, AvgDelivery: 6.5, AvgWait: 12},
+		{N: 8, LoadPct: 100, AvgDelivery: 7, AvgWait: 16},
+		{N: 16, LoadPct: 0, AvgDelivery: 11, AvgWait: 0},
+		{N: 16, LoadPct: 50, AvgDelivery: 12, AvgWait: 18},
+		{N: 16, LoadPct: 75, AvgDelivery: 12.3, AvgWait: 23},
+		{N: 16, LoadPct: 100, AvgDelivery: 12.5, AvgWait: 26},
+	}
+	kpPts := []KPPoint{
+		{N: 16, KPs: 4, RolledBackEvents: 500, EventRate: 1e6},
+		{N: 16, KPs: 16, RolledBackEvents: 200, EventRate: 1.2e6},
+		{N: 32, KPs: 4, RolledBackEvents: 900, EventRate: 9e5},
+		{N: 32, KPs: 16, RolledBackEvents: 400, EventRate: 1.1e6},
+	}
+	spPts := []SpeedupPoint{
+		{N: 8, PEs: 1, EventRate: 1e6}, {N: 8, PEs: 2, EventRate: 1.5e6}, {N: 8, PEs: 4, EventRate: 2e6},
+		{N: 16, PEs: 1, EventRate: 1e6}, {N: 16, PEs: 2, EventRate: 1.6e6}, {N: 16, PEs: 4, EventRate: 2.5e6},
+	}
+	profilePts := []ProfilePoint{
+		{Distance: 1, AvgDelivery: 2, Count: 10},
+		{Distance: 4, AvgDelivery: 6, Count: 20},
+		{Distance: 8, AvgDelivery: 11, Count: 15},
+	}
+
+	cases := []struct {
+		name   string
+		render func(*bytes.Buffer) error
+		want   string
+	}{
+		{"fig3", func(b *bytes.Buffer) error { c := Fig3Chart(loadPts); return c.Render(b) }, "100%"},
+		{"fig4", func(b *bytes.Buffer) error { c := Fig4Chart(loadPts); return c.Render(b) }, "wait"},
+		{"fig5", func(b *bytes.Buffer) error { c := Fig5Chart(spPts); return c.Render(b) }, "4 PE"},
+		{"fig7", func(b *bytes.Buffer) error { c := Fig7Chart(kpPts); return c.Render(b) }, "32x32"},
+		{"fig8", func(b *bytes.Buffer) error { c := Fig8Chart(kpPts); return c.Render(b) }, "events/s"},
+		{"distance", func(b *bytes.Buffer) error { c := DistanceChart(profilePts); return c.Render(b) }, "ideal"},
+	}
+	for _, tc := range cases {
+		var buf bytes.Buffer
+		if err := tc.render(&buf); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !strings.Contains(buf.String(), tc.want) {
+			t.Errorf("%s chart missing %q:\n%s", tc.name, tc.want, buf.String())
+		}
+	}
+}
+
+// TestPatternSweepSmoke covers the traffic-pattern experiment end to end.
+func TestPatternSweepSmoke(t *testing.T) {
+	points, err := PatternSweep(Options{Steps: 15, Seed: 15, PEs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("got %d pattern points", len(points))
+	}
+	for _, p := range points {
+		if p.Delivered == 0 {
+			t.Fatalf("pattern %s delivered nothing", p.Pattern)
+		}
+	}
+	// Nearest-neighbour traffic must be the fastest of the suite.
+	var neighbor, uniform float64
+	for _, p := range points {
+		switch p.Pattern {
+		case "neighbor":
+			neighbor = p.AvgDelivery
+		case "uniform":
+			uniform = p.AvgDelivery
+		}
+	}
+	if neighbor >= uniform {
+		t.Fatalf("neighbour delivery %.2f not below uniform %.2f", neighbor, uniform)
+	}
+	if tab := PatternTable(points); len(tab.Rows) != 6 {
+		t.Fatal("pattern table malformed")
+	}
+}
+
+// TestFullOptionLadders: the Full flag must widen every sweep dimension.
+func TestFullOptionLadders(t *testing.T) {
+	quick, full := Options{}, Options{Full: true}
+	if len(full.networkSizes()) <= len(quick.networkSizes()) {
+		t.Error("Full did not widen the N ladder")
+	}
+	if len(full.kpCounts()) <= len(quick.kpCounts()) {
+		t.Error("Full did not widen the KP ladder")
+	}
+	if len(full.kpNetworkSizes()) <= len(quick.kpNetworkSizes()) {
+		t.Error("Full did not widen the Figure 7/8 sizes")
+	}
+	if quick.seed() != 1 {
+		t.Error("default seed must be 1")
+	}
+	if (Options{Seed: 9}).seed() != 9 {
+		t.Error("explicit seed ignored")
+	}
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hotpotato"
+	"repro/internal/phold"
+	"repro/internal/stats"
+)
+
+// SyncPoint is one engine measurement in the synchronisation comparison.
+type SyncPoint struct {
+	Workload   string
+	Engine     string // "sequential", "timewarp", "conservative"
+	Lookahead  float64
+	EventRate  float64
+	Committed  int64
+	Rounds     int64 // GVT rounds or conservative windows
+	RolledBack int64
+	Wall       time.Duration
+}
+
+// SyncComparison runs the same workloads under all three execution
+// engines: the sequential reference, optimistic Time Warp, and the
+// conservative window-synchronous executor. Two workloads frame the
+// classic trade-off:
+//
+//   - hot-potato routing (lookahead 0.05 steps of dense activity):
+//     the conservative engine needs ~20 barrier windows per step;
+//   - PHOLD at increasing lookahead: conservative performance climbs with
+//     lookahead while Time Warp barely notices — Fujimoto's textbook
+//     result, reproduced on this kernel.
+func SyncComparison(opt Options) ([]SyncPoint, error) {
+	pes := opt.PEs
+	if pes <= 0 {
+		pes = 4
+	}
+	var out []SyncPoint
+	add := func(p SyncPoint, err error) error {
+		if err != nil {
+			return err
+		}
+		out = append(out, p)
+		opt.progressf("sync: %s/%s la=%g rate=%.0f\n", p.Workload, p.Engine, p.Lookahead, p.EventRate)
+		return nil
+	}
+
+	// Hot-potato workload.
+	hp := hotpotato.DefaultConfig(16)
+	hp.Steps = opt.steps(60)
+	hp.Seed = opt.seed()
+
+	if err := add(runSyncHotpotato(hp, "sequential", pes)); err != nil {
+		return nil, err
+	}
+	if err := add(runSyncHotpotato(hp, "timewarp", pes)); err != nil {
+		return nil, err
+	}
+	if err := add(runSyncHotpotato(hp, "conservative", pes)); err != nil {
+		return nil, err
+	}
+
+	// PHOLD lookahead ladder.
+	for _, la := range []float64{0.01, 0.1, 1.0} {
+		pcfg := phold.Config{
+			NumLPs:     1024,
+			Population: 8,
+			RemoteProb: 0.5,
+			Lookahead:  la,
+			EndTime:    core.Time(opt.steps(30)),
+			Seed:       opt.seed(),
+			NumPEs:     pes,
+		}
+		if err := add(runSyncPhold(pcfg, "timewarp")); err != nil {
+			return nil, err
+		}
+		if err := add(runSyncPhold(pcfg, "conservative")); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func runSyncHotpotato(cfg hotpotato.Config, engine string, pes int) (SyncPoint, error) {
+	p := SyncPoint{Workload: "hotpotato-16", Engine: engine, Lookahead: float64(hotpotato.Lookahead)}
+	var ks *core.Stats
+	var err error
+	switch engine {
+	case "sequential":
+		var seq *core.Sequential
+		seq, _, err = hotpotato.BuildSequential(cfg)
+		if err == nil {
+			ks, err = seq.Run()
+		}
+	case "timewarp":
+		cfg.NumPEs = pes
+		_, ks, err = runParallel(cfg)
+	case "conservative":
+		cfg.NumPEs = pes
+		var cons *core.Conservative
+		cons, _, err = hotpotato.BuildConservative(cfg)
+		if err == nil {
+			ks, err = cons.Run()
+		}
+	}
+	if err != nil {
+		return p, fmt.Errorf("hotpotato/%s: %w", engine, err)
+	}
+	p.EventRate, p.Committed, p.Rounds, p.RolledBack, p.Wall =
+		ks.EventRate, ks.Committed, ks.GVTRounds, ks.RolledBackEvents, ks.Wall
+	return p, nil
+}
+
+func runSyncPhold(cfg phold.Config, engine string) (SyncPoint, error) {
+	p := SyncPoint{Workload: "phold-1024", Engine: engine, Lookahead: cfg.Lookahead}
+	var ks *core.Stats
+	var err error
+	switch engine {
+	case "timewarp":
+		var sim *core.Simulator
+		sim, _, err = phold.Build(cfg)
+		if err == nil {
+			ks, err = sim.Run()
+		}
+	case "conservative":
+		var cons *core.Conservative
+		cons, _, err = phold.BuildConservative(cfg)
+		if err == nil {
+			ks, err = cons.Run()
+		}
+	}
+	if err != nil {
+		return p, fmt.Errorf("phold/%s: %w", engine, err)
+	}
+	p.EventRate, p.Committed, p.Rounds, p.RolledBack, p.Wall =
+		ks.EventRate, ks.Committed, ks.GVTRounds, ks.RolledBackEvents, ks.Wall
+	return p, nil
+}
+
+// SyncTable renders the synchronisation comparison.
+func SyncTable(points []SyncPoint) stats.Table {
+	t := stats.Table{
+		Title:  "Synchronisation comparison: sequential vs Time Warp vs conservative",
+		Header: []string{"workload", "engine", "lookahead", "event rate (ev/s)", "committed", "rounds", "rolled back"},
+	}
+	for _, p := range points {
+		t.AddRow(p.Workload, p.Engine, fmt.Sprintf("%g", p.Lookahead),
+			stats.FormatNumber(p.EventRate), fmt.Sprintf("%d", p.Committed),
+			fmt.Sprintf("%d", p.Rounds), fmt.Sprintf("%d", p.RolledBack))
+	}
+	return t
+}

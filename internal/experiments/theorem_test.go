@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDistanceProfile: the E[delivery | distance] curve must be strongly
+// linear with slope ≥ 1 (a packet needs at least one step per hop).
+func TestDistanceProfile(t *testing.T) {
+	points, err := DistanceProfile(Options{Seed: 11, PEs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 5 {
+		t.Fatalf("profile has only %d bins", len(points))
+	}
+	var total int64
+	for _, p := range points {
+		total += p.Count
+	}
+	if total == 0 {
+		t.Fatal("profile counted no packets")
+	}
+	slope, r2 := ProfileLinearity(points)
+	if slope < 1 {
+		t.Errorf("delivery grows %.3f steps per hop; must be at least 1", slope)
+	}
+	if r2 < 0.9 {
+		t.Errorf("R² = %.3f; the theorem check expects a strongly linear profile", r2)
+	}
+	if tab := DistanceProfileTable(points); len(tab.Rows) != len(points) {
+		t.Fatal("profile table row mismatch")
+	}
+}
+
+// TestRateSweep: waits must grow monotonically-ish with rate, and sources
+// below capacity must see small backlogs relative to saturating sources.
+func TestRateSweep(t *testing.T) {
+	points, err := RateSweep(Options{Steps: 80, Seed: 12, PEs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 5 {
+		t.Fatalf("got %d rate points", len(points))
+	}
+	lightest, heaviest := points[0], points[len(points)-1]
+	if lightest.AvgWait >= heaviest.AvgWait {
+		t.Fatalf("wait at rate %.2f (%.2f) >= wait at rate %.2f (%.2f)",
+			lightest.Rate, lightest.AvgWait, heaviest.Rate, heaviest.AvgWait)
+	}
+	if lightest.StillQueued >= heaviest.StillQueued {
+		t.Fatalf("backlog at light load %d >= heavy load %d", lightest.StillQueued, heaviest.StillQueued)
+	}
+	for _, p := range points {
+		if p.Generated == 0 || p.Injected == 0 {
+			t.Fatalf("rate %.2f generated/injected nothing: %+v", p.Rate, p)
+		}
+		if p.Injected > p.Generated {
+			t.Fatalf("rate %.2f injected more than generated", p.Rate)
+		}
+	}
+	if tab := RateTable(points); len(tab.Rows) != 5 {
+		t.Fatal("rate table malformed")
+	}
+}
+
+// TestTopologySweep: the torus must beat the mesh at equal N on both
+// distance and delivery — the report's §1.1 claim.
+func TestTopologySweep(t *testing.T) {
+	points, err := TopologySweep(Options{Steps: 40, Seed: 17, PEs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("got %d topology points", len(points))
+	}
+	get := func(topo string, n int) TopologyPoint {
+		for _, p := range points {
+			if p.Topology == topo && p.N == n {
+				return p
+			}
+		}
+		t.Fatalf("missing %s N=%d", topo, n)
+		return TopologyPoint{}
+	}
+	for _, n := range []int{8, 16} {
+		torus, mesh := get("torus", n), get("mesh", n)
+		if torus.AvgDistance >= mesh.AvgDistance {
+			t.Errorf("N=%d: torus distance %.2f >= mesh %.2f", n, torus.AvgDistance, mesh.AvgDistance)
+		}
+		if torus.AvgDelivery >= mesh.AvgDelivery {
+			t.Errorf("N=%d: torus delivery %.2f >= mesh %.2f", n, torus.AvgDelivery, mesh.AvgDelivery)
+		}
+	}
+	if tab := TopologyTable(points); len(tab.Rows) != 4 {
+		t.Fatal("topology table malformed")
+	}
+}
+
+// TestMemorySweep: the footprint study must fill its grid; a throttled
+// run must not have a larger footprint than the unthrottled run at the
+// same GVT interval.
+func TestMemorySweep(t *testing.T) {
+	points, err := MemorySweep(Options{Steps: 20, Seed: 16, PEs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("got %d memory points", len(points))
+	}
+	var wild, tame int
+	for _, p := range points {
+		if p.PeakLive <= 0 {
+			t.Fatalf("empty cell %+v", p)
+		}
+		if p.GVTInterval == 64 {
+			if p.MaxOptimism == 0 {
+				wild = p.PeakLive
+			}
+			if p.MaxOptimism == 2 {
+				tame = p.PeakLive
+			}
+		}
+	}
+	if tame > wild {
+		t.Fatalf("throttled peak %d > unthrottled %d", tame, wild)
+	}
+	if tab := MemoryTable(points); len(tab.Rows) != 6 {
+		t.Fatal("memory table malformed")
+	}
+}
+
+// TestWarmup: the time series must rise from the initial transient to a
+// steady plateau.
+func TestWarmup(t *testing.T) {
+	points, err := Warmup(Options{Seed: 18, PEs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 8 {
+		t.Fatalf("only %d warm-up bins", len(points))
+	}
+	first, last := points[0], points[len(points)-1]
+	if first.AvgDelivery >= last.AvgDelivery {
+		t.Fatalf("no transient: %.2f >= %.2f", first.AvgDelivery, last.AvgDelivery)
+	}
+	if tab := WarmupTable(points); len(tab.Rows) != len(points) {
+		t.Fatal("warmup table malformed")
+	}
+	var buf strings.Builder
+	c := WarmupChart(points)
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTuningSweep: the ablation grid must fill and commit identical work
+// in every cell (tuning knobs must not change results, only performance).
+func TestTuningSweep(t *testing.T) {
+	points, err := TuningSweep(Options{Steps: 20, Seed: 13, PEs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 10 {
+		t.Fatalf("got %d tuning points", len(points))
+	}
+	for _, p := range points {
+		if p.EventRate <= 0 || p.GVTRounds <= 0 {
+			t.Fatalf("empty cell %+v", p)
+		}
+	}
+	// More frequent GVT rounds at the same batch size must mean at least
+	// as many rounds.
+	byBatch := map[int][]TuningPoint{}
+	for _, p := range points {
+		byBatch[p.BatchSize] = append(byBatch[p.BatchSize], p)
+	}
+	for batch, row := range byBatch {
+		for i := 1; i < len(row); i++ {
+			if row[i].GVTInterval > row[i-1].GVTInterval && row[i].GVTRounds > row[i-1].GVTRounds {
+				t.Errorf("batch %d: interval %d has more rounds (%d) than interval %d (%d)",
+					batch, row[i].GVTInterval, row[i].GVTRounds, row[i-1].GVTInterval, row[i-1].GVTRounds)
+			}
+		}
+	}
+	if tab := TuningTable(points); len(tab.Rows) != 10 {
+		t.Fatal("tuning table malformed")
+	}
+}

@@ -1,0 +1,98 @@
+package hotpotato
+
+import (
+	"testing"
+
+	"repro/internal/traffic"
+)
+
+// TestTrafficPatternsParallelEquality: every pattern must stay rollback-
+// exact (pattern draw counts vary per decision, which exercises the
+// kernel's dynamic draw accounting).
+func TestTrafficPatternsParallelEquality(t *testing.T) {
+	for _, name := range traffic.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			pattern, err := traffic.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := DefaultConfig(8)
+			cfg.Traffic = pattern
+			cfg.Steps = 40
+			cfg.Seed = 61
+			want, _ := runSeq(t, cfg)
+			if want.Routed == 0 {
+				t.Fatal("vacuous: nothing was routed")
+			}
+
+			pcfg := cfg
+			pcfg.NumPEs = 4
+			pcfg.NumKPs = 16
+			pcfg.BatchSize = 4
+			pcfg.GVTInterval = 2
+			got, _, _ := runPar(t, pcfg)
+			if got != want {
+				t.Fatalf("pattern %s: totals mismatch:\npar: %+v\nseq: %+v", name, got, want)
+			}
+		})
+	}
+}
+
+// TestTransposeDiscardsDiagonal: the N diagonal injectors must discard
+// their self-addressed packets; everyone else must inject normally.
+func TestTransposeDiscardsDiagonal(t *testing.T) {
+	cfg := DefaultConfig(8)
+	cfg.Traffic = traffic.Transpose{}
+	cfg.InitialFill = 0
+	cfg.Steps = 60
+	cfg.Seed = 62
+	totals, _ := runSeq(t, cfg)
+	if totals.Discarded == 0 {
+		t.Fatal("no diagonal packets were discarded")
+	}
+	if totals.Delivered == 0 {
+		t.Fatal("transpose traffic delivered nothing")
+	}
+	// Every generated packet is injected, discarded, or still queued.
+	if totals.Generated != totals.Injected+totals.Discarded+totals.StillQueued {
+		t.Fatalf("injection accounting broken: %+v", totals)
+	}
+}
+
+// TestHotspotCongestion: hotspot traffic must deliver more slowly than
+// uniform traffic at the same load — the congestion the pattern exists to
+// provoke.
+func TestHotspotCongestion(t *testing.T) {
+	base := DefaultConfig(8)
+	base.Steps = 120
+	base.Seed = 63
+	base.InitialFill = 0
+	uniform, _ := runSeq(t, base)
+
+	hs := base
+	hs.Traffic = traffic.Hotspot{Target: -1, Fraction: 0.5}
+	hot, _ := runSeq(t, hs)
+
+	if hot.AvgDelivery <= uniform.AvgDelivery {
+		t.Fatalf("hotspot delivery %.2f not slower than uniform %.2f",
+			hot.AvgDelivery, uniform.AvgDelivery)
+	}
+}
+
+// TestNeighborTrafficIsFast: nearest-neighbour traffic must deliver in
+// nearly one step with almost no deflections.
+func TestNeighborTrafficIsFast(t *testing.T) {
+	cfg := DefaultConfig(8)
+	cfg.Traffic = traffic.Neighbor{}
+	cfg.InitialFill = 0
+	cfg.Steps = 60
+	cfg.Seed = 64
+	totals, _ := runSeq(t, cfg)
+	if totals.AvgDistance < 0.99 || totals.AvgDistance > 1.01 {
+		t.Fatalf("neighbour traffic distance %.3f", totals.AvgDistance)
+	}
+	if totals.AvgDelivery > 2.0 {
+		t.Fatalf("neighbour traffic delivery %.2f steps", totals.AvgDelivery)
+	}
+}

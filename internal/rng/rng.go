@@ -1,0 +1,166 @@
+// Package rng implements the reversible pseudo-random number generator used
+// by the Time Warp kernel, modelled on ROSS's CLCG4 generator
+// (L'Ecuyer & Andres, "A random number generator based on the combination
+// of four LCGs", Mathematics and Computers in Simulation, 1997).
+//
+// Reversibility is the property the kernel depends on: every draw advances
+// each of the four component LCGs by exactly one multiplication, and
+// Reverse undoes draws exactly by multiplying with the precomputed modular
+// inverse of each multiplier. A logical process that is rolled back k draws
+// therefore returns to the precise generator state it had before, which is
+// what makes reverse computation (rather than state saving) possible.
+//
+// Every public drawing method (Uniform, Integer, Exponential, Bool) consumes
+// exactly one underlying generator step, so the kernel can undo a handler's
+// randomness by counting its draws and calling Reverse with that count.
+package rng
+
+import "math"
+
+// Component moduli and multipliers of the combined generator.
+var clcg4M = [4]uint64{2147483647, 2147483543, 2147483423, 2147483323}
+var clcg4A = [4]uint64{45991, 207707, 138556, 49689}
+
+// clcg4B holds the modular inverses of the multipliers, computed once at
+// package initialisation: b[i] = a[i]^(m[i]-2) mod m[i] (Fermat inverse;
+// every modulus is prime).
+var clcg4B [4]uint64
+
+// clcg4Norm holds 1/m[i] for the output combination.
+var clcg4Norm [4]float64
+
+func init() {
+	for i := range clcg4M {
+		clcg4B[i] = powMod(clcg4A[i], clcg4M[i]-2, clcg4M[i])
+		clcg4Norm[i] = 1.0 / float64(clcg4M[i])
+	}
+}
+
+// powMod returns base^exp mod m using binary exponentiation. All operands
+// are below 2^31, so intermediate products fit comfortably in a uint64.
+func powMod(base, exp, m uint64) uint64 {
+	result := uint64(1)
+	base %= m
+	for exp > 0 {
+		if exp&1 == 1 {
+			result = result * base % m
+		}
+		base = base * base % m
+		exp >>= 1
+	}
+	return result
+}
+
+// defaultSeed is the canonical initial state of stream 0, taken from the
+// L'Ecuyer–Andres reference implementation.
+var defaultSeed = [4]uint64{11111111, 22222222, 33333333, 44444444}
+
+// streamSpacing is the per-stream jump distance. Adjacent streams are
+// 2^41 steps apart, far beyond any single simulation's consumption, so
+// per-LP streams never overlap.
+const streamSpacing = uint64(1) << 41
+
+// Stream is one reversible random stream. Each logical process in a
+// simulation owns its own Stream so that event-processing order across
+// processors cannot perturb the random sequence any LP observes.
+//
+// A Stream is not safe for concurrent use; the kernel guarantees each LP is
+// only ever touched by one processor at a time.
+type Stream struct {
+	s     [4]uint64
+	draws uint64 // net draws since creation (draws - reversals)
+}
+
+// NewStream returns the stream with the given identifier. Stream i starts
+// 2^41*i steps into the base CLCG4 sequence; the jump is computed in
+// O(log spacing) time with modular exponentiation.
+func NewStream(id uint64) *Stream {
+	st := &Stream{}
+	st.SeedStream(id)
+	return st
+}
+
+// SeedStream resets the stream to the initial state of stream id.
+func (st *Stream) SeedStream(id uint64) {
+	for i := range st.s {
+		// a^(id * spacing) mod m, computed as (a^spacing)^id to keep the
+		// exponent within uint64 without overflow concerns.
+		jump := powMod(powMod(clcg4A[i], streamSpacing, clcg4M[i]), id, clcg4M[i])
+		st.s[i] = defaultSeed[i] * jump % clcg4M[i]
+	}
+	st.draws = 0
+}
+
+// State returns the four component states; useful for checkpointing and in
+// tests that assert exact reversal.
+func (st *Stream) State() [4]uint64 { return st.s }
+
+// Draws returns the net number of draws consumed so far.
+func (st *Stream) Draws() uint64 { return st.draws }
+
+// step advances every component LCG by one multiplication and returns the
+// combined uniform variate in (0, 1).
+func (st *Stream) step() float64 {
+	u := 0.0
+	sign := 1.0
+	for i := range st.s {
+		st.s[i] = clcg4A[i] * st.s[i] % clcg4M[i]
+		u += sign * float64(st.s[i]) * clcg4Norm[i]
+		sign = -sign
+	}
+	// Fold the combination into (0,1). u is in (-2, 2) before folding.
+	u -= math.Floor(u)
+	if u <= 0 {
+		// Guard against an exact 0 after folding; the component states are
+		// never zero, so nudging to the smallest representable step keeps
+		// the output strictly positive (required by Exponential).
+		u = 0.5 * clcg4Norm[0]
+	}
+	st.draws++
+	return u
+}
+
+// unstep moves every component LCG back by one multiplication.
+func (st *Stream) unstep() {
+	for i := range st.s {
+		st.s[i] = clcg4B[i] * st.s[i] % clcg4M[i]
+	}
+	st.draws--
+}
+
+// Uniform returns a uniform variate in (0, 1), consuming one draw.
+func (st *Stream) Uniform() float64 { return st.step() }
+
+// Integer returns a uniform integer in [lo, hi] inclusive, consuming one
+// draw. It panics if hi < lo.
+func (st *Stream) Integer(lo, hi int64) int64 {
+	if hi < lo {
+		panic("rng: Integer called with hi < lo")
+	}
+	span := uint64(hi-lo) + 1
+	v := int64(st.step() * float64(span))
+	if v >= int64(span) { // defensive: floating point edge at u -> 1
+		v = int64(span) - 1
+	}
+	return lo + v
+}
+
+// Exponential returns an exponential variate with the given mean,
+// consuming one draw.
+func (st *Stream) Exponential(mean float64) float64 {
+	return -mean * math.Log(st.step())
+}
+
+// Bool returns true with probability p, consuming one draw.
+func (st *Stream) Bool(p float64) bool { return st.step() < p }
+
+// Reverse undoes the last n draws exactly. After Reverse(n) the stream
+// produces the same sequence it produced after the corresponding earlier
+// point. Reversing more draws than were ever taken walks the underlying
+// sequence backwards past the seed, which is well defined but almost
+// certainly a caller bug; the kernel never does it.
+func (st *Stream) Reverse(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		st.unstep()
+	}
+}

@@ -1,0 +1,254 @@
+// Package routing implements the per-step deflection-routing decision of
+// the hot-potato model: given the links still free this time step and the
+// links that bring a packet closer to its destination, choose an output
+// link and the packet's next priority state.
+//
+// The primary policy is the dynamic algorithm of Busch, Herlihy &
+// Wattenhofer ("Routing without Flow Control", SPAA 2001) as described in
+// §1.2 of the report: four priority states — Sleeping, Active, Excited,
+// Running — with probabilistic upgrades and one-bend home-run paths.
+// Baseline policies in the spirit of the experimental literature the
+// report cites (Bartzis et al., EuroPar 2000) are provided for comparison.
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// State is a packet's priority state. Order matters: higher values get
+// routed earlier within a time step.
+type State uint8
+
+// The four priority states of the algorithm, lowest to highest.
+const (
+	Sleeping State = iota
+	Active
+	Excited
+	Running
+	NumStates = 4
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case Sleeping:
+		return "Sleeping"
+	case Active:
+		return "Active"
+	case Excited:
+		return "Excited"
+	case Running:
+		return "Running"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Ctx is everything a policy may consult for one routing decision. Rand
+// and RandInt draw from the router LP's reversible stream; policies must
+// obtain all randomness through them so decisions replay identically under
+// rollback.
+type Ctx struct {
+	// Prio is the packet's priority state on arrival.
+	Prio State
+	// Free is the set of existing links not yet claimed this time step.
+	// Never empty: a node has at least as many output links as packets to
+	// route in a step.
+	Free topology.DirSet
+	// Good is the set of existing links that strictly reduce the distance
+	// to the packet's destination (may be empty only at the destination,
+	// which routers handle before routing).
+	Good topology.DirSet
+	// HomeRun is the next hop of the packet's one-bend row-first path.
+	HomeRun topology.Direction
+	// N is the network side length (the probabilities 1/24n and 1/16n are
+	// in terms of it).
+	N int
+	// Rand draws a uniform variate in (0,1).
+	Rand func() float64
+	// RandInt draws a uniform integer in [lo, hi].
+	RandInt func(lo, hi int64) int64
+}
+
+// Decision is the outcome of one routing step.
+type Decision struct {
+	// Dir is the chosen output link; always a member of Ctx.Free.
+	Dir topology.Direction
+	// Deflected reports that the packet did not advance toward its
+	// destination this step.
+	Deflected bool
+	// NewPrio is the packet's priority state for the next step.
+	NewPrio State
+}
+
+// Policy decides one routing step.
+type Policy interface {
+	// Name identifies the policy in reports and CLI flags.
+	Name() string
+	// Route picks an output link and next priority for the packet
+	// described by ctx. Implementations must only consult ctx.
+	Route(ctx *Ctx) Decision
+}
+
+// pick returns a uniformly random member of the set, consuming one draw.
+func pick(ctx *Ctx, set topology.DirSet) topology.Direction {
+	n := set.Count()
+	if n == 0 {
+		panic("routing: pick from empty direction set")
+	}
+	return set.Nth(int(ctx.RandInt(0, int64(n)-1)))
+}
+
+// greedy picks a random free good link when one exists, otherwise deflects
+// to a random free link.
+func greedy(ctx *Ctx) (topology.Direction, bool) {
+	if fg := ctx.Free & ctx.Good; !fg.Empty() {
+		return pick(ctx, fg), false
+	}
+	return pick(ctx, ctx.Free), true
+}
+
+// Busch is the SPAA 2001 algorithm. Rules (report §1.2.4):
+//
+//   - Sleeping: route to any good link; every time it is routed it
+//     upgrades to Active with probability 1/(24n).
+//   - Active: route to any good link; when deflected it upgrades to
+//     Excited with probability 1/(16n).
+//   - Excited: request the home-run link; granted → Running, deflected →
+//     back to Active (Excited lasts at most one step).
+//   - Running: follow the home-run path; it can only lose its link while
+//     turning, to another Running packet, in which case it drops to
+//     Active.
+type Busch struct{}
+
+// NewBusch returns the paper's policy.
+func NewBusch() Busch { return Busch{} }
+
+// Name implements Policy.
+func (Busch) Name() string { return "busch" }
+
+// Route implements Policy.
+func (Busch) Route(ctx *Ctx) Decision {
+	n := float64(ctx.N)
+	switch ctx.Prio {
+	case Sleeping:
+		dir, deflected := greedy(ctx)
+		prio := Sleeping
+		if ctx.Rand() < 1.0/(24.0*n) {
+			prio = Active
+		}
+		return Decision{Dir: dir, Deflected: deflected, NewPrio: prio}
+	case Active:
+		dir, deflected := greedy(ctx)
+		prio := Active
+		if deflected && ctx.Rand() < 1.0/(16.0*n) {
+			prio = Excited
+		}
+		return Decision{Dir: dir, Deflected: deflected, NewPrio: prio}
+	case Excited, Running:
+		if ctx.Free.Has(ctx.HomeRun) {
+			return Decision{Dir: ctx.HomeRun, NewPrio: Running}
+		}
+		return Decision{Dir: pick(ctx, ctx.Free), Deflected: true, NewPrio: Active}
+	}
+	panic("routing: unknown priority state")
+}
+
+// GreedyRandom is the stateless baseline: always take a uniformly random
+// free good link, deflect uniformly otherwise, never change priority.
+// Packets stay Sleeping forever, so it is also the natural policy for
+// measuring raw greedy hot-potato behaviour without the paper's machinery.
+type GreedyRandom struct{}
+
+// NewGreedyRandom returns the stateless greedy baseline.
+func NewGreedyRandom() GreedyRandom { return GreedyRandom{} }
+
+// Name implements Policy.
+func (GreedyRandom) Name() string { return "greedy" }
+
+// Route implements Policy.
+func (GreedyRandom) Route(ctx *Ctx) Decision {
+	dir, deflected := greedy(ctx)
+	return Decision{Dir: dir, Deflected: deflected, NewPrio: ctx.Prio}
+}
+
+// DimOrder prefers to finish the column dimension first (East/West), then
+// the row dimension, deflecting to the first free link in compass order.
+// It is fully deterministic — the classic dimension-order preference
+// adapted to hot-potato routing.
+type DimOrder struct{}
+
+// NewDimOrder returns the dimension-order baseline.
+func NewDimOrder() DimOrder { return DimOrder{} }
+
+// Name implements Policy.
+func (DimOrder) Name() string { return "dimorder" }
+
+// Route implements Policy.
+func (DimOrder) Route(ctx *Ctx) Decision {
+	fg := ctx.Free & ctx.Good
+	for _, d := range [...]topology.Direction{topology.East, topology.West, topology.North, topology.South} {
+		if fg.Has(d) {
+			return Decision{Dir: d, NewPrio: ctx.Prio}
+		}
+	}
+	for d := topology.Direction(0); d < topology.NumDirections; d++ {
+		if ctx.Free.Has(d) {
+			return Decision{Dir: d, Deflected: true, NewPrio: ctx.Prio}
+		}
+	}
+	panic("routing: no free link")
+}
+
+// MaxAdvance prefers the good link in the dimension with the most
+// remaining distance, balancing progress across dimensions (in the spirit
+// of the algorithms compared by Bartzis et al.). The model supplies the
+// home-run direction as the row-first hint; MaxAdvance instead randomises
+// among good links but biases deflections toward the link opposite a good
+// one, which tends to be recoverable.
+type MaxAdvance struct{}
+
+// NewMaxAdvance returns the balanced-progress baseline.
+func NewMaxAdvance() MaxAdvance { return MaxAdvance{} }
+
+// Name implements Policy.
+func (MaxAdvance) Name() string { return "maxadvance" }
+
+// Route implements Policy.
+func (MaxAdvance) Route(ctx *Ctx) Decision {
+	if fg := ctx.Free & ctx.Good; !fg.Empty() {
+		return Decision{Dir: pick(ctx, fg), NewPrio: ctx.Prio}
+	}
+	// Deflect preferring the reverse of a good direction: the packet can
+	// re-attempt the same dimension next step.
+	var prefer topology.DirSet
+	for d := topology.Direction(0); d < topology.NumDirections; d++ {
+		if ctx.Good.Has(d) && ctx.Free.Has(d.Opposite()) {
+			prefer = prefer.Add(d.Opposite())
+		}
+	}
+	if !prefer.Empty() {
+		return Decision{Dir: pick(ctx, prefer), Deflected: true, NewPrio: ctx.Prio}
+	}
+	return Decision{Dir: pick(ctx, ctx.Free), Deflected: true, NewPrio: ctx.Prio}
+}
+
+// ByName returns the policy registered under name; the recognised names
+// are "busch", "greedy", "dimorder" and "maxadvance".
+func ByName(name string) (Policy, error) {
+	switch name {
+	case "busch", "":
+		return NewBusch(), nil
+	case "greedy":
+		return NewGreedyRandom(), nil
+	case "dimorder":
+		return NewDimOrder(), nil
+	case "maxadvance":
+		return NewMaxAdvance(), nil
+	}
+	return nil, fmt.Errorf("routing: unknown policy %q", name)
+}
+
+// Names lists the registered policy names.
+func Names() []string { return []string{"busch", "greedy", "dimorder", "maxadvance"} }

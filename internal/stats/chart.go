@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// ChartSeries is one line of a Chart.
+type ChartSeries struct {
+	Name string
+	Y    []float64
+}
+
+// Chart renders one or more series against a shared X axis as an ASCII
+// line chart — the terminal rendition of the report's figures. Values are
+// linearly interpolated between points so sparse sweeps still read as
+// curves.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []ChartSeries
+	// Width and Height are the plot-area dimensions in characters;
+	// defaults 64×16.
+	Width  int
+	Height int
+}
+
+// seriesMarks assigns one marker per series.
+const seriesMarks = "*o+x#@%&"
+
+// Render writes the chart.
+func (c *Chart) Render(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 16
+	}
+	if len(c.X) < 2 {
+		return fmt.Errorf("stats: chart needs at least two x values")
+	}
+	for _, s := range c.Series {
+		if len(s.Y) != len(c.X) {
+			return fmt.Errorf("stats: series %q has %d points for %d x values", s.Name, len(s.Y), len(c.X))
+		}
+	}
+
+	xMin, xMax := c.X[0], c.X[0]
+	for _, x := range c.X {
+		xMin = math.Min(xMin, x)
+		xMax = math.Max(xMax, x)
+	}
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, y := range s.Y {
+			yMin = math.Min(yMin, y)
+			yMax = math.Max(yMax, y)
+		}
+	}
+	if yMin > 0 && yMin < yMax/3 {
+		yMin = 0 // anchor at zero unless the data is far from it
+	}
+	if xMax == xMin || math.IsInf(yMin, 0) {
+		return fmt.Errorf("stats: degenerate chart domain")
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	toCol := func(x float64) int {
+		col := int(math.Round((x - xMin) / (xMax - xMin) * float64(width-1)))
+		return clampInt(col, 0, width-1)
+	}
+	toRow := func(y float64) int {
+		row := int(math.Round((y - yMin) / (yMax - yMin) * float64(height-1)))
+		return clampInt(height-1-row, 0, height-1)
+	}
+
+	for si, s := range c.Series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		// Interpolate between consecutive points column by column so the
+		// series reads as a line.
+		for i := 0; i+1 < len(c.X); i++ {
+			c0, c1 := toCol(c.X[i]), toCol(c.X[i+1])
+			y0, y1 := s.Y[i], s.Y[i+1]
+			if c1 == c0 {
+				grid[toRow(y0)][c0] = mark
+				continue
+			}
+			for col := c0; col <= c1; col++ {
+				f := float64(col-c0) / float64(c1-c0)
+				grid[toRow(y0+(y1-y0)*f)][col] = mark
+			}
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	yLo, yHi := FormatNumber(yMin), FormatNumber(yMax)
+	labelWidth := len(yLo)
+	if len(yHi) > labelWidth {
+		labelWidth = len(yHi)
+	}
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", labelWidth)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", labelWidth, yHi)
+		case height - 1:
+			label = fmt.Sprintf("%*s", labelWidth, yLo)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", labelWidth), strings.Repeat("-", width))
+	xLo, xHi := FormatNumber(xMin), FormatNumber(xMax)
+	pad := width - len(xLo) - len(xHi)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s", strings.Repeat(" ", labelWidth), xLo, strings.Repeat(" ", pad), xHi)
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, "  (%s)", c.XLabel)
+	}
+	b.WriteByte('\n')
+	var legend []string
+	for si, s := range c.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", seriesMarks[si%len(seriesMarks)], s.Name))
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&b, "%s  legend: %s", strings.Repeat(" ", labelWidth), strings.Join(legend, ", "))
+		if c.YLabel != "" {
+			fmt.Fprintf(&b, "  [y: %s]", c.YLabel)
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

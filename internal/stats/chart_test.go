@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func renderChart(t *testing.T, c Chart) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestChartBasics: title, axes labels, legend and both markers appear.
+func TestChartBasics(t *testing.T) {
+	c := Chart{
+		Title:  "demo",
+		XLabel: "N",
+		YLabel: "steps",
+		X:      []float64{0, 10, 20, 30},
+		Series: []ChartSeries{
+			{Name: "up", Y: []float64{0, 10, 20, 30}},
+			{Name: "flat", Y: []float64{15, 15, 15, 15}},
+		},
+	}
+	out := renderChart(t, c)
+	for _, want := range []string{"demo", "legend: * up, o flat", "(N)", "[y: steps]", "30", "0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+}
+
+// TestChartMonotoneLine: an increasing series must place its marker higher
+// (smaller row index) at the right edge than at the left edge.
+func TestChartMonotoneLine(t *testing.T) {
+	c := Chart{
+		X:      []float64{0, 100},
+		Series: []ChartSeries{{Name: "s", Y: []float64{0, 100}}},
+		Width:  40, Height: 10,
+	}
+	out := renderChart(t, c)
+	lines := strings.Split(out, "\n")
+	firstRow, lastRow := -1, -1
+	for i, line := range lines {
+		if idx := strings.IndexByte(line, '*'); idx >= 0 {
+			if firstRow == -1 {
+				firstRow = i
+			}
+			lastRow = i
+		}
+	}
+	if firstRow == -1 {
+		t.Fatalf("no markers:\n%s", out)
+	}
+	top := lines[firstRow]
+	bottom := lines[lastRow]
+	if strings.IndexByte(top, '*') < strings.IndexByte(bottom, '*') {
+		t.Fatalf("increasing series renders downhill:\n%s", out)
+	}
+	// The line must be continuous: a marker in every plot column between
+	// the endpoints.
+	cols := map[int]bool{}
+	for _, line := range lines {
+		for i := 0; i < len(line); i++ {
+			if line[i] == '*' {
+				cols[i] = true
+			}
+		}
+	}
+	if len(cols) < 38 {
+		t.Fatalf("line not interpolated: only %d columns marked", len(cols))
+	}
+}
+
+// TestChartErrors: degenerate inputs are rejected.
+func TestChartErrors(t *testing.T) {
+	bad := []Chart{
+		{X: []float64{1}, Series: []ChartSeries{{Name: "s", Y: []float64{1}}}},
+		{X: []float64{1, 2}, Series: []ChartSeries{{Name: "s", Y: []float64{1}}}},
+		{X: []float64{3, 3}, Series: []ChartSeries{{Name: "s", Y: []float64{1, 2}}}},
+	}
+	for i, c := range bad {
+		if err := c.Render(&bytes.Buffer{}); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

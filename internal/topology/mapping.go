@@ -1,0 +1,125 @@
+package topology
+
+// This file implements the LP → KP → PE placement described in §3.2.3 of
+// the report: the N×N grid of logical processes is divided into rectangular
+// tiles, one per kernel process, and the tiles are grouped into contiguous
+// bands, one per processing element. Because packets only travel between
+// adjacent routers, tiling minimises the KP–KP and PE–PE boundary length
+// and therefore the remote messages (and thus the rollbacks) the optimistic
+// kernel has to absorb.
+
+// BlockMapping assigns the size*size row-major LP grid to numKPs kernel
+// processes and those KPs to numPEs processing elements.
+type BlockMapping struct {
+	side        int
+	kpRows      int // KP tile grid dimensions
+	kpCols      int
+	numKPs      int
+	numPEs      int
+	rowBounds   []int // kpRows+1 row boundaries of the tile grid
+	colBounds   []int // kpCols+1 column boundaries
+	kpToPE      []int
+	lpRowOfKPRo []int // cached: for each grid row, which KP tile-row
+	lpColOfKPCo []int
+}
+
+// NewBlockMapping builds the rectangular tiling. numKPs is factored into a
+// tile grid as close to square as possible; when the side does not divide
+// evenly the tiles differ by at most one row/column. KPs are assigned to
+// PEs in contiguous runs of whole tile rows where possible, so each PE owns
+// a horizontal band of the network.
+func NewBlockMapping(side, numKPs, numPEs int) *BlockMapping {
+	if side < 1 || numKPs < 1 || numPEs < 1 {
+		panic("topology: mapping dimensions must be positive")
+	}
+	if numKPs > side*side {
+		numKPs = side * side
+	}
+	if numPEs > numKPs {
+		numPEs = numKPs
+	}
+	kpRows, kpCols := squarestFactors(numKPs)
+	if kpRows > side {
+		kpRows = side
+	}
+	if kpCols > side {
+		kpCols = side
+	}
+	m := &BlockMapping{
+		side:   side,
+		kpRows: kpRows,
+		kpCols: kpCols,
+		numKPs: kpRows * kpCols,
+		numPEs: numPEs,
+	}
+	m.rowBounds = bounds(side, kpRows)
+	m.colBounds = bounds(side, kpCols)
+	m.lpRowOfKPRo = invertBounds(m.rowBounds, side)
+	m.lpColOfKPCo = invertBounds(m.colBounds, side)
+
+	// Assign KPs to PEs in row-major tile order, split into numPEs nearly
+	// equal contiguous runs: PE p owns KPs [p*K/P, (p+1)*K/P).
+	m.kpToPE = make([]int, m.numKPs)
+	for kp := 0; kp < m.numKPs; kp++ {
+		m.kpToPE[kp] = kp * numPEs / m.numKPs
+	}
+	return m
+}
+
+// NumKPs returns the number of kernel processes actually used; it may be
+// less than requested when the requested count could not tile the grid
+// (e.g. more KPs than LPs).
+func (m *BlockMapping) NumKPs() int { return m.numKPs }
+
+// NumPEs returns the number of processing elements used.
+func (m *BlockMapping) NumPEs() int { return m.numPEs }
+
+// KPOfLP returns the kernel process that owns logical process lp.
+func (m *BlockMapping) KPOfLP(lp int) int {
+	row, col := lp/m.side, lp%m.side
+	return m.lpRowOfKPRo[row]*m.kpCols + m.lpColOfKPCo[col]
+}
+
+// PEOfKP returns the processing element that owns kernel process kp.
+func (m *BlockMapping) PEOfKP(kp int) int { return m.kpToPE[kp] }
+
+// PEOfLP returns the processing element that owns logical process lp.
+func (m *BlockMapping) PEOfLP(lp int) int { return m.kpToPE[m.KPOfLP(lp)] }
+
+// squarestFactors returns (r, c) with r*c == n and r <= c, maximising r —
+// the factor pair closest to a square.
+func squarestFactors(n int) (int, int) {
+	r := 1
+	for f := 1; f*f <= n; f++ {
+		if n%f == 0 {
+			r = f
+		}
+	}
+	return r, n / r
+}
+
+// bounds splits [0, side) into parts nearly-equal intervals and returns the
+// parts+1 boundary positions.
+func bounds(side, parts int) []int {
+	b := make([]int, parts+1)
+	for i := 0; i <= parts; i++ {
+		b[i] = i * side / parts
+	}
+	return b
+}
+
+// invertBounds returns, for each position in [0, side), the index of the
+// interval that contains it.
+func invertBounds(b []int, side int) []int {
+	out := make([]int, side)
+	interval := 0
+	for pos := 0; pos < side; pos++ {
+		// Advance past any interval that ends at or before pos; this also
+		// skips zero-width intervals when parts > side.
+		for interval < len(b)-2 && pos >= b[interval+1] {
+			interval++
+		}
+		out[pos] = interval
+	}
+	return out
+}

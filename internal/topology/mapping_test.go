@@ -1,0 +1,155 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestMappingPartition: every LP lands on exactly one valid KP, every KP
+// on a valid PE.
+func TestMappingPartition(t *testing.T) {
+	prop := func(sideRaw, kpRaw, peRaw uint8) bool {
+		side := int(sideRaw%32) + 1
+		kps := int(kpRaw%70) + 1
+		pes := int(peRaw%9) + 1
+		m := NewBlockMapping(side, kps, pes)
+		for lp := 0; lp < side*side; lp++ {
+			kp := m.KPOfLP(lp)
+			if kp < 0 || kp >= m.NumKPs() {
+				return false
+			}
+			pe := m.PEOfKP(kp)
+			if pe < 0 || pe >= m.NumPEs() {
+				return false
+			}
+			if m.PEOfLP(lp) != pe {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMappingCoversAllKPs: every KP owns at least one LP (no empty KPs
+// that would skew rollback statistics) and every PE at least one KP.
+func TestMappingCoversAllKPs(t *testing.T) {
+	cases := []struct{ side, kps, pes int }{
+		{8, 4, 2}, {8, 64, 4}, {32, 64, 4}, {5, 7, 3}, {16, 16, 16}, {4, 16, 1},
+	}
+	for _, c := range cases {
+		m := NewBlockMapping(c.side, c.kps, c.pes)
+		kpSeen := make([]bool, m.NumKPs())
+		for lp := 0; lp < c.side*c.side; lp++ {
+			kpSeen[m.KPOfLP(lp)] = true
+		}
+		for kp, seen := range kpSeen {
+			if !seen {
+				t.Errorf("side=%d kps=%d: KP %d owns no LP", c.side, c.kps, kp)
+			}
+		}
+		peSeen := make([]bool, m.NumPEs())
+		for kp := 0; kp < m.NumKPs(); kp++ {
+			peSeen[m.PEOfKP(kp)] = true
+		}
+		for pe, seen := range peSeen {
+			if !seen {
+				t.Errorf("side=%d pes=%d: PE %d owns no KP", c.side, c.pes, pe)
+			}
+		}
+	}
+}
+
+// TestMappingIsRectangular: the LPs of one KP form a contiguous rectangle
+// — the locality property that minimises boundary traffic (§3.2.3).
+func TestMappingIsRectangular(t *testing.T) {
+	m := NewBlockMapping(32, 64, 4)
+	type box struct{ minR, maxR, minC, maxC, count int }
+	boxes := map[int]*box{}
+	for lp := 0; lp < 32*32; lp++ {
+		kp := m.KPOfLP(lp)
+		r, c := lp/32, lp%32
+		b, ok := boxes[kp]
+		if !ok {
+			b = &box{minR: r, maxR: r, minC: c, maxC: c}
+			boxes[kp] = b
+		}
+		if r < b.minR {
+			b.minR = r
+		}
+		if r > b.maxR {
+			b.maxR = r
+		}
+		if c < b.minC {
+			b.minC = c
+		}
+		if c > b.maxC {
+			b.maxC = c
+		}
+		b.count++
+	}
+	for kp, b := range boxes {
+		area := (b.maxR - b.minR + 1) * (b.maxC - b.minC + 1)
+		if area != b.count {
+			t.Errorf("KP %d: bounding box %d != member count %d (not a solid rectangle)", kp, area, b.count)
+		}
+	}
+}
+
+// TestMappingBalance: LP counts per PE must differ by a small factor.
+func TestMappingBalance(t *testing.T) {
+	m := NewBlockMapping(32, 64, 4)
+	counts := make([]int, m.NumPEs())
+	for lp := 0; lp < 32*32; lp++ {
+		counts[m.PEOfLP(lp)]++
+	}
+	min, max := counts[0], counts[0]
+	for _, c := range counts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if min == 0 || max > 2*min {
+		t.Fatalf("imbalanced PE loads: %v", counts)
+	}
+}
+
+// TestMappingClamps: more KPs than LPs, or more PEs than KPs, must clamp
+// rather than fail.
+func TestMappingClamps(t *testing.T) {
+	m := NewBlockMapping(2, 100, 50)
+	if m.NumKPs() > 4 {
+		t.Fatalf("NumKPs = %d for a 2x2 grid", m.NumKPs())
+	}
+	if m.NumPEs() > m.NumKPs() {
+		t.Fatalf("NumPEs %d > NumKPs %d", m.NumPEs(), m.NumKPs())
+	}
+}
+
+// TestSquarestFactors checks the tile-shape helper.
+func TestSquarestFactors(t *testing.T) {
+	cases := []struct{ n, r, c int }{
+		{1, 1, 1}, {4, 2, 2}, {8, 2, 4}, {12, 3, 4}, {64, 8, 8}, {7, 1, 7}, {36, 6, 6},
+	}
+	for _, tc := range cases {
+		r, c := squarestFactors(tc.n)
+		if r != tc.r || c != tc.c {
+			t.Errorf("squarestFactors(%d) = (%d,%d), want (%d,%d)", tc.n, r, c, tc.r, tc.c)
+		}
+	}
+}
+
+// TestMappingPanicsOnBadInput guards preconditions.
+func TestMappingPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero dimensions")
+		}
+	}()
+	NewBlockMapping(0, 1, 1)
+}

@@ -1,0 +1,400 @@
+// Package topology models the networks the hot-potato simulation routes
+// on: the N×N torus used by the report's experiments and the N×N mesh used
+// by the theoretical analysis in Busch, Herlihy & Wattenhofer (SPAA 2001).
+//
+// Nodes are identified by dense integer IDs laid out row-major, exactly as
+// the report lays out ROSS logical processes ("Row 1 contains LP 0..31,
+// Row 2 contains LP 32..." for N = 32). All routing geometry — which links
+// bring a packet closer to its destination (good links), the one-bend
+// home-run path, wrap-around distances — lives here so the routing policies
+// and the simulation model can share one audited implementation.
+package topology
+
+import "fmt"
+
+// Direction identifies one of the four bidirectional links of a node.
+type Direction uint8
+
+// The four link directions, plus None for "no link chosen". North decreases
+// the row index, South increases it; West decreases the column, East
+// increases it (with wrap-around on the torus).
+const (
+	North Direction = iota
+	East
+	South
+	West
+	None Direction = 0xFF
+)
+
+// NumDirections is the degree of an interior node.
+const NumDirections = 4
+
+// String returns the compass name of the direction.
+func (d Direction) String() string {
+	switch d {
+	case North:
+		return "North"
+	case East:
+		return "East"
+	case South:
+		return "South"
+	case West:
+		return "West"
+	case None:
+		return "None"
+	}
+	return fmt.Sprintf("Direction(%d)", uint8(d))
+}
+
+// Opposite returns the reverse direction; packets sent out direction d
+// arrive at the neighbour on the link Opposite(d).
+func (d Direction) Opposite() Direction {
+	switch d {
+	case North:
+		return South
+	case South:
+		return North
+	case East:
+		return West
+	case West:
+		return East
+	}
+	return None
+}
+
+// DirSet is a small set of directions, used for free-link and good-link
+// sets during a routing decision.
+type DirSet uint8
+
+// Add returns the set with d included.
+func (s DirSet) Add(d Direction) DirSet { return s | 1<<d }
+
+// Has reports whether d is in the set.
+func (s DirSet) Has(d Direction) bool { return d != None && s&(1<<d) != 0 }
+
+// Remove returns the set with d excluded.
+func (s DirSet) Remove(d Direction) DirSet { return s &^ (1 << d) }
+
+// Count returns the number of directions in the set.
+func (s DirSet) Count() int {
+	n := 0
+	for d := Direction(0); d < NumDirections; d++ {
+		if s.Has(d) {
+			n++
+		}
+	}
+	return n
+}
+
+// Nth returns the i-th direction of the set in North, East, South, West
+// order. It panics if i is out of range; callers index with a value drawn
+// uniformly from [0, Count()).
+func (s DirSet) Nth(i int) Direction {
+	for d := Direction(0); d < NumDirections; d++ {
+		if s.Has(d) {
+			if i == 0 {
+				return d
+			}
+			i--
+		}
+	}
+	panic("topology: DirSet.Nth index out of range")
+}
+
+// Empty reports whether the set has no directions.
+func (s DirSet) Empty() bool { return s == 0 }
+
+// String lists the members, e.g. "{North East}".
+func (s DirSet) String() string {
+	out := "{"
+	for d := Direction(0); d < NumDirections; d++ {
+		if s.Has(d) {
+			if len(out) > 1 {
+				out += " "
+			}
+			out += d.String()
+		}
+	}
+	return out + "}"
+}
+
+// Network is the geometry interface shared by the torus and the mesh.
+type Network interface {
+	// Size returns the number of nodes.
+	Size() int
+	// N returns the side length of the square network.
+	N() int
+	// Neighbor returns the node reached by following the link in
+	// direction d from node id, or -1 if the link does not exist
+	// (mesh boundary).
+	Neighbor(id int, d Direction) int
+	// Links returns the set of directions that have links at node id.
+	Links(id int) DirSet
+	// Dist returns the minimum hop distance between two nodes.
+	Dist(a, b int) int
+	// GoodDirs returns the set of directions that strictly reduce the
+	// distance from 'from' to 'to' (the report's "good links").
+	GoodDirs(from, to int) DirSet
+	// HomeRunDir returns the next hop of the one-bend home-run path from
+	// 'from' to 'to': first along the row toward the destination column,
+	// then along the column (report §1.2.4). Returns None when from == to.
+	HomeRunDir(from, to int) Direction
+}
+
+// Torus is an N×N wrap-around mesh: every node has degree four and the
+// maximum distance between two nodes is N-1 (versus 2(N-1) for the mesh),
+// which is why the report simulates the torus.
+type Torus struct {
+	side int
+}
+
+// NewTorus returns an N×N torus. N must be at least 2.
+func NewTorus(n int) Torus {
+	if n < 2 {
+		panic("topology: torus side must be >= 2")
+	}
+	return Torus{side: n}
+}
+
+// N returns the side length.
+func (t Torus) N() int { return t.side }
+
+// Size returns N*N.
+func (t Torus) Size() int { return t.side * t.side }
+
+// Coord returns the (row, column) of a node ID.
+func (t Torus) Coord(id int) (row, col int) { return id / t.side, id % t.side }
+
+// ID returns the node at (row, column); coordinates wrap.
+func (t Torus) ID(row, col int) int {
+	row = mod(row, t.side)
+	col = mod(col, t.side)
+	return row*t.side + col
+}
+
+// Links reports the full degree-four link set of every torus node.
+func (t Torus) Links(int) DirSet {
+	return DirSet(0).Add(North).Add(East).Add(South).Add(West)
+}
+
+// Neighbor returns the node across the link in direction d. The arithmetic
+// mirrors the report's LP-number calculation, e.g. East from lp is
+// ((lp/N)*N) + ((lp+1) mod N).
+func (t Torus) Neighbor(id int, d Direction) int {
+	row, col := t.Coord(id)
+	switch d {
+	case North:
+		return t.ID(row-1, col)
+	case South:
+		return t.ID(row+1, col)
+	case East:
+		return t.ID(row, col+1)
+	case West:
+		return t.ID(row, col-1)
+	}
+	return -1
+}
+
+// axisDist returns the wrap-around distance along one axis and the
+// direction sign(s) that reduce it: negative (North/West), positive
+// (South/East), or both when the two ways around are equally short.
+func axisDist(from, to, n int) (dist int, negGood, posGood bool) {
+	d := mod(to-from, n)
+	if d == 0 {
+		return 0, false, false
+	}
+	forward := d      // moving in the positive direction
+	backward := n - d // moving in the negative direction
+	switch {
+	case forward < backward:
+		return forward, false, true
+	case backward < forward:
+		return backward, true, false
+	default:
+		return forward, true, true
+	}
+}
+
+// Dist returns the minimum hop distance with wrap-around.
+func (t Torus) Dist(a, b int) int {
+	ar, ac := t.Coord(a)
+	br, bc := t.Coord(b)
+	dr, _, _ := axisDist(ar, br, t.side)
+	dc, _, _ := axisDist(ac, bc, t.side)
+	return dr + dc
+}
+
+// GoodDirs returns every direction that strictly reduces Dist(from, to).
+// On a torus a dimension at exactly half the side length is good both
+// ways around.
+func (t Torus) GoodDirs(from, to int) DirSet {
+	var s DirSet
+	fr, fc := t.Coord(from)
+	tr, tc := t.Coord(to)
+	if _, neg, pos := axisDist(fr, tr, t.side); true {
+		if neg {
+			s = s.Add(North)
+		}
+		if pos {
+			s = s.Add(South)
+		}
+	}
+	if _, neg, pos := axisDist(fc, tc, t.side); true {
+		if neg {
+			s = s.Add(West)
+		}
+		if pos {
+			s = s.Add(East)
+		}
+	}
+	return s
+}
+
+// HomeRunDir returns the next hop of the row-first one-bend path. Ties
+// (destination exactly opposite on the ring) resolve East / South so the
+// home-run path of a packet is a fixed function of (from, to), as the
+// algorithm requires: a Running packet re-requests the same path every
+// step.
+func (t Torus) HomeRunDir(from, to int) Direction {
+	fr, fc := t.Coord(from)
+	tr, tc := t.Coord(to)
+	if fc != tc {
+		_, neg, pos := axisDist(fc, tc, t.side)
+		if pos {
+			return East // East wins ties
+		}
+		if neg {
+			return West
+		}
+	}
+	if fr != tr {
+		_, neg, pos := axisDist(fr, tr, t.side)
+		if pos {
+			return South // South wins ties
+		}
+		if neg {
+			return North
+		}
+	}
+	return None
+}
+
+// Mesh is an N×N grid without wrap-around; boundary nodes have degree
+// three and corners degree two. It is the topology of the SPAA 2001
+// theoretical analysis.
+type Mesh struct {
+	side int
+}
+
+// NewMesh returns an N×N mesh. N must be at least 2.
+func NewMesh(n int) Mesh {
+	if n < 2 {
+		panic("topology: mesh side must be >= 2")
+	}
+	return Mesh{side: n}
+}
+
+// N returns the side length.
+func (m Mesh) N() int { return m.side }
+
+// Size returns N*N.
+func (m Mesh) Size() int { return m.side * m.side }
+
+// Coord returns the (row, column) of a node ID.
+func (m Mesh) Coord(id int) (row, col int) { return id / m.side, id % m.side }
+
+// ID returns the node at (row, column); coordinates must be in range.
+func (m Mesh) ID(row, col int) int { return row*m.side + col }
+
+// Neighbor returns the node across the link in direction d, or -1 at the
+// boundary.
+func (m Mesh) Neighbor(id int, d Direction) int {
+	row, col := m.Coord(id)
+	switch d {
+	case North:
+		row--
+	case South:
+		row++
+	case East:
+		col++
+	case West:
+		col--
+	default:
+		return -1
+	}
+	if row < 0 || row >= m.side || col < 0 || col >= m.side {
+		return -1
+	}
+	return m.ID(row, col)
+}
+
+// Links returns the directions that exist at node id (2, 3 or 4 of them).
+func (m Mesh) Links(id int) DirSet {
+	var s DirSet
+	for d := Direction(0); d < NumDirections; d++ {
+		if m.Neighbor(id, d) >= 0 {
+			s = s.Add(d)
+		}
+	}
+	return s
+}
+
+// Dist returns the Manhattan distance.
+func (m Mesh) Dist(a, b int) int {
+	ar, ac := m.Coord(a)
+	br, bc := m.Coord(b)
+	return abs(ar-br) + abs(ac-bc)
+}
+
+// GoodDirs returns the directions that strictly reduce the Manhattan
+// distance; on a mesh there is at most one per dimension.
+func (m Mesh) GoodDirs(from, to int) DirSet {
+	var s DirSet
+	fr, fc := m.Coord(from)
+	tr, tc := m.Coord(to)
+	switch {
+	case tr < fr:
+		s = s.Add(North)
+	case tr > fr:
+		s = s.Add(South)
+	}
+	switch {
+	case tc < fc:
+		s = s.Add(West)
+	case tc > fc:
+		s = s.Add(East)
+	}
+	return s
+}
+
+// HomeRunDir returns the next hop of the row-first one-bend path.
+func (m Mesh) HomeRunDir(from, to int) Direction {
+	fr, fc := m.Coord(from)
+	tr, tc := m.Coord(to)
+	switch {
+	case tc > fc:
+		return East
+	case tc < fc:
+		return West
+	case tr > fr:
+		return South
+	case tr < fr:
+		return North
+	}
+	return None
+}
+
+func mod(a, n int) int {
+	a %= n
+	if a < 0 {
+		a += n
+	}
+	return a
+}
+
+func abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

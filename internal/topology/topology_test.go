@@ -1,0 +1,382 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// nets returns torus and mesh instances of side n.
+func nets(n int) []Network {
+	return []Network{NewTorus(n), NewMesh(n)}
+}
+
+// TestDirectionAlgebra covers Opposite and the string names.
+func TestDirectionAlgebra(t *testing.T) {
+	for d := Direction(0); d < NumDirections; d++ {
+		if d.Opposite().Opposite() != d {
+			t.Errorf("%v: double opposite broken", d)
+		}
+		if d.Opposite() == d {
+			t.Errorf("%v equals its opposite", d)
+		}
+		if d.String() == "" {
+			t.Errorf("direction %d has no name", d)
+		}
+	}
+	if None.Opposite() != None {
+		t.Error("None.Opposite() != None")
+	}
+}
+
+// TestDirSetOperations covers the small-set helpers.
+func TestDirSetOperations(t *testing.T) {
+	var s DirSet
+	if !s.Empty() || s.Count() != 0 {
+		t.Fatal("zero DirSet not empty")
+	}
+	s = s.Add(North).Add(West)
+	if !s.Has(North) || !s.Has(West) || s.Has(East) || s.Has(South) {
+		t.Fatalf("membership wrong: %v", s)
+	}
+	if s.Count() != 2 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	if s.Nth(0) != North || s.Nth(1) != West {
+		t.Fatalf("Nth order wrong: %v %v", s.Nth(0), s.Nth(1))
+	}
+	s = s.Remove(North)
+	if s.Has(North) || s.Count() != 1 {
+		t.Fatalf("Remove failed: %v", s)
+	}
+	if s.Has(None) {
+		t.Fatal("Has(None) must be false")
+	}
+}
+
+// TestDirSetNthPanics guards the precondition.
+func TestDirSetNthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Nth out of range did not panic")
+		}
+	}()
+	DirSet(0).Add(East).Nth(1)
+}
+
+// TestCoordRoundTrip: ID and Coord are inverses.
+func TestCoordRoundTrip(t *testing.T) {
+	tor := NewTorus(7)
+	mesh := NewMesh(7)
+	for id := 0; id < 49; id++ {
+		r, c := tor.Coord(id)
+		if tor.ID(r, c) != id {
+			t.Fatalf("torus roundtrip failed for %d", id)
+		}
+		r, c = mesh.Coord(id)
+		if mesh.ID(r, c) != id {
+			t.Fatalf("mesh roundtrip failed for %d", id)
+		}
+	}
+}
+
+// TestTorusWrap checks the explicit wrap-around arithmetic the report
+// gives for the East edge.
+func TestTorusWrap(t *testing.T) {
+	tor := NewTorus(4)
+	// East from the last LP in a row wraps to the first.
+	if got := tor.Neighbor(3, East); got != 0 {
+		t.Fatalf("East from 3 = %d, want 0", got)
+	}
+	if got := tor.Neighbor(0, West); got != 3 {
+		t.Fatalf("West from 0 = %d, want 3", got)
+	}
+	if got := tor.Neighbor(0, North); got != 12 {
+		t.Fatalf("North from 0 = %d, want 12", got)
+	}
+	if got := tor.Neighbor(13, South); got != 1 {
+		t.Fatalf("South from 13 = %d, want 1", got)
+	}
+}
+
+// TestNeighborInverse: stepping d then Opposite(d) returns to the start on
+// every link that exists.
+func TestNeighborInverse(t *testing.T) {
+	for _, net := range nets(6) {
+		for id := 0; id < net.Size(); id++ {
+			for d := Direction(0); d < NumDirections; d++ {
+				nb := net.Neighbor(id, d)
+				if nb < 0 {
+					continue
+				}
+				if back := net.Neighbor(nb, d.Opposite()); back != id {
+					t.Fatalf("%T: %d -%v-> %d -%v-> %d", net, id, d, nb, d.Opposite(), back)
+				}
+			}
+		}
+	}
+}
+
+// TestLinksMatchNeighbors: Links must list exactly the directions with
+// neighbours.
+func TestLinksMatchNeighbors(t *testing.T) {
+	for _, net := range nets(5) {
+		for id := 0; id < net.Size(); id++ {
+			links := net.Links(id)
+			for d := Direction(0); d < NumDirections; d++ {
+				if links.Has(d) != (net.Neighbor(id, d) >= 0) {
+					t.Fatalf("%T node %d dir %v: Links disagrees with Neighbor", net, id, d)
+				}
+			}
+		}
+	}
+}
+
+// TestMeshDegrees: corners 2, edges 3, interior 4.
+func TestMeshDegrees(t *testing.T) {
+	m := NewMesh(5)
+	wantDeg := func(r, c int) int {
+		deg := 4
+		if r == 0 || r == 4 {
+			deg--
+		}
+		if c == 0 || c == 4 {
+			deg--
+		}
+		return deg
+	}
+	for id := 0; id < 25; id++ {
+		r, c := m.Coord(id)
+		if got := m.Links(id).Count(); got != wantDeg(r, c) {
+			t.Fatalf("node (%d,%d) degree %d, want %d", r, c, got, wantDeg(r, c))
+		}
+	}
+}
+
+// TestDistanceMetric: symmetry, identity, triangle inequality, and the
+// one-step property (neighbours at distance 1).
+func TestDistanceMetric(t *testing.T) {
+	for _, net := range nets(6) {
+		size := net.Size()
+		r := rand.New(rand.NewSource(5))
+		for trial := 0; trial < 500; trial++ {
+			a, b, c := r.Intn(size), r.Intn(size), r.Intn(size)
+			if net.Dist(a, a) != 0 {
+				t.Fatalf("%T: Dist(a,a) != 0", net)
+			}
+			if net.Dist(a, b) != net.Dist(b, a) {
+				t.Fatalf("%T: asymmetric distance", net)
+			}
+			if net.Dist(a, c) > net.Dist(a, b)+net.Dist(b, c) {
+				t.Fatalf("%T: triangle inequality violated", net)
+			}
+		}
+		for id := 0; id < size; id++ {
+			for d := Direction(0); d < NumDirections; d++ {
+				if nb := net.Neighbor(id, d); nb >= 0 && net.Dist(id, nb) != 1 {
+					t.Fatalf("%T: neighbour at distance %d", net, net.Dist(id, nb))
+				}
+			}
+		}
+	}
+}
+
+// TestTorusMaxDistance: the report's reason for simulating the torus — the
+// maximum distance is N-1 for even N (⌊N/2⌋ per dimension), versus 2(N-1)
+// on the mesh.
+func TestTorusMaxDistance(t *testing.T) {
+	for _, n := range []int{4, 6, 8} {
+		tor := NewTorus(n)
+		maxD := 0
+		for a := 0; a < tor.Size(); a++ {
+			for b := 0; b < tor.Size(); b++ {
+				if d := tor.Dist(a, b); d > maxD {
+					maxD = d
+				}
+			}
+		}
+		if maxD != n {
+			// ⌊n/2⌋*2 = n for even n.
+			t.Fatalf("torus N=%d: max distance %d, want %d", n, maxD, n)
+		}
+		mesh := NewMesh(n)
+		maxD = 0
+		for a := 0; a < mesh.Size(); a++ {
+			for b := 0; b < mesh.Size(); b++ {
+				if d := mesh.Dist(a, b); d > maxD {
+					maxD = d
+				}
+			}
+		}
+		if maxD != 2*(n-1) {
+			t.Fatalf("mesh N=%d: max distance %d, want %d", n, maxD, 2*(n-1))
+		}
+	}
+}
+
+// TestGoodDirsReduceDistance: every good direction strictly reduces the
+// distance, every non-good existing direction does not.
+func TestGoodDirsReduceDistance(t *testing.T) {
+	for _, net := range nets(7) {
+		size := net.Size()
+		r := rand.New(rand.NewSource(11))
+		for trial := 0; trial < 2000; trial++ {
+			from, to := r.Intn(size), r.Intn(size)
+			good := net.GoodDirs(from, to)
+			if from == to && !good.Empty() {
+				t.Fatalf("%T: good dirs at destination", net)
+			}
+			d0 := net.Dist(from, to)
+			for d := Direction(0); d < NumDirections; d++ {
+				nb := net.Neighbor(from, d)
+				if nb < 0 {
+					if good.Has(d) {
+						t.Fatalf("%T: absent link marked good", net)
+					}
+					continue
+				}
+				d1 := net.Dist(nb, to)
+				if good.Has(d) && d1 != d0-1 {
+					t.Fatalf("%T: good dir %v gives %d -> %d", net, d, d0, d1)
+				}
+				if !good.Has(d) && d1 < d0 {
+					t.Fatalf("%T: dir %v reduces distance but not good", net, d)
+				}
+			}
+		}
+	}
+}
+
+// TestGoodDirsNonEmptyAwayFromDest: whenever from != to there is at least
+// one good direction.
+func TestGoodDirsNonEmptyAwayFromDest(t *testing.T) {
+	for _, net := range nets(6) {
+		for from := 0; from < net.Size(); from++ {
+			for to := 0; to < net.Size(); to++ {
+				if from != to && net.GoodDirs(from, to).Empty() {
+					t.Fatalf("%T: no good dir from %d to %d", net, from, to)
+				}
+			}
+		}
+	}
+}
+
+// TestHomeRunPath: following HomeRunDir reaches the destination in exactly
+// Dist hops with at most one bend, row movement first.
+func TestHomeRunPath(t *testing.T) {
+	for _, net := range nets(8) {
+		size := net.Size()
+		for from := 0; from < size; from++ {
+			for to := 0; to < size; to++ {
+				cur := from
+				hops := 0
+				bends := 0
+				var prev Direction = None
+				for cur != to {
+					d := net.HomeRunDir(cur, to)
+					if d == None {
+						t.Fatalf("%T: HomeRunDir None before destination (%d->%d at %d)", net, from, to, cur)
+					}
+					if prev != None && d != prev {
+						bends++
+					}
+					prev = d
+					cur = net.Neighbor(cur, d)
+					if cur < 0 {
+						t.Fatalf("%T: home-run walked off the network", net)
+					}
+					hops++
+					if hops > 4*size {
+						t.Fatalf("%T: home-run does not terminate (%d->%d)", net, from, to)
+					}
+				}
+				if hops != net.Dist(from, to) {
+					t.Fatalf("%T: home-run length %d != distance %d (%d->%d)", net, hops, net.Dist(from, to), from, to)
+				}
+				if bends > 1 {
+					t.Fatalf("%T: home-run has %d bends (%d->%d)", net, bends, from, to)
+				}
+				if net.HomeRunDir(to, to) != None {
+					t.Fatalf("%T: HomeRunDir at destination not None", net)
+				}
+			}
+		}
+	}
+}
+
+// TestHomeRunRowFirst: while not in the destination column, the home-run
+// direction must be horizontal.
+func TestHomeRunRowFirst(t *testing.T) {
+	tor := NewTorus(6)
+	for from := 0; from < 36; from++ {
+		for to := 0; to < 36; to++ {
+			_, fc := tor.Coord(from)
+			_, tc := tor.Coord(to)
+			d := tor.HomeRunDir(from, to)
+			if fc != tc && d != East && d != West {
+				t.Fatalf("from %d to %d: first leg %v not horizontal", from, to, d)
+			}
+		}
+	}
+}
+
+// TestHomeRunIsGood: every home-run hop is a good link (it follows a
+// shortest row-column path).
+func TestHomeRunIsGood(t *testing.T) {
+	for _, net := range nets(7) {
+		for from := 0; from < net.Size(); from++ {
+			for to := 0; to < net.Size(); to++ {
+				if from == to {
+					continue
+				}
+				d := net.HomeRunDir(from, to)
+				if !net.GoodDirs(from, to).Has(d) {
+					t.Fatalf("%T: home-run dir %v from %d to %d is not good", net, d, from, to)
+				}
+			}
+		}
+	}
+}
+
+// TestAxisDistProperty cross-checks the wrap arithmetic against a brute
+// force ring walk.
+func TestAxisDistProperty(t *testing.T) {
+	prop := func(a, b uint8, nRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		from, to := int(a)%n, int(b)%n
+		dist, neg, pos := axisDist(from, to, n)
+		fwd := ((to - from) + n) % n
+		bwd := (n - fwd) % n
+		wantDist := fwd
+		if bwd < fwd {
+			wantDist = bwd
+		}
+		if from == to {
+			return dist == 0 && !neg && !pos
+		}
+		okDist := dist == wantDist
+		okPos := pos == (fwd <= bwd)
+		okNeg := neg == (bwd <= fwd)
+		return okDist && okPos && okNeg
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConstructorPanics: degenerate sides are rejected.
+func TestConstructorPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewTorus(1) },
+		func() { NewMesh(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("constructor accepted degenerate side")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,156 @@
+// Package trace records committed events for debugging and analysis.
+//
+// Optimistic execution makes printf-debugging misleading: Forward runs
+// speculatively and may be rolled back, so anything it logs can describe
+// events that "never happened". The Recorder solves this by hooking the
+// commit path — an event is recorded only once it is irrevocably in the
+// past — and by sorting the dump into the kernel's deterministic event
+// order, so a parallel run's trace is byte-identical to the sequential
+// run's.
+//
+// Usage:
+//
+//	rec := trace.NewRecorder(100000)
+//	sim.ForEachLP(func(lp *core.LP) {
+//	    lp.Handler = trace.Wrap(model, rec, trace.DescribeData)
+//	})
+//	...
+//	rec.Dump(os.Stdout)
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Record is one committed event.
+type Record struct {
+	T    core.Time
+	Dst  core.LPID
+	Src  core.LPID
+	Note string
+}
+
+// Describe renders an event into the Record's Note field at commit time.
+type Describe func(lp *core.LP, ev *core.Event) string
+
+// DescribeData is the default describer: the payload's %v rendering.
+func DescribeData(lp *core.LP, ev *core.Event) string {
+	return fmt.Sprintf("%v", ev.Data)
+}
+
+// Recorder accumulates committed-event records. It is safe for concurrent
+// use: commits arrive from every PE goroutine.
+type Recorder struct {
+	mu      sync.Mutex
+	records []Record
+	limit   int
+	dropped int64
+}
+
+// NewRecorder returns a recorder holding at most limit records (0 means
+// unbounded). Once full it counts drops rather than growing.
+func NewRecorder(limit int) *Recorder {
+	return &Recorder{limit: limit}
+}
+
+func (r *Recorder) add(rec Record) {
+	r.mu.Lock()
+	if r.limit > 0 && len(r.records) >= r.limit {
+		r.dropped++
+	} else {
+		r.records = append(r.records, rec)
+	}
+	r.mu.Unlock()
+}
+
+// Len returns the number of records held.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.records)
+}
+
+// Dropped returns how many commits exceeded the limit.
+func (r *Recorder) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Records returns a copy of the records sorted into the kernel's event
+// order (time, destination, source) — the order a sequential run commits.
+func (r *Recorder) Records() []Record {
+	r.mu.Lock()
+	out := make([]Record, len(r.records))
+	copy(out, r.records)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.T != b.T {
+			return a.T < b.T
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		return a.Src < b.Src
+	})
+	return out
+}
+
+// Dump writes the sorted trace, one event per line.
+func (r *Recorder) Dump(w io.Writer) error {
+	for _, rec := range r.Records() {
+		if _, err := fmt.Fprintf(w, "%.6f lp=%d src=%d %s\n",
+			float64(rec.T), rec.Dst, rec.Src, rec.Note); err != nil {
+			return err
+		}
+	}
+	if d := r.Dropped(); d > 0 {
+		if _, err := fmt.Fprintf(w, "... %d records dropped (limit reached)\n", d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// wrapped decorates a model handler with commit-time recording. It
+// preserves the inner handler's Committer behaviour.
+type wrapped struct {
+	inner    core.Handler
+	rec      *Recorder
+	describe Describe
+}
+
+// Wrap returns a handler that behaves exactly like inner and additionally
+// records every committed event. describe may be nil (DescribeData).
+func Wrap(inner core.Handler, rec *Recorder, describe Describe) core.Handler {
+	if describe == nil {
+		describe = DescribeData
+	}
+	return &wrapped{inner: inner, rec: rec, describe: describe}
+}
+
+// Forward implements core.Handler.
+func (w *wrapped) Forward(lp *core.LP, ev *core.Event) { w.inner.Forward(lp, ev) }
+
+// Reverse implements core.Handler.
+func (w *wrapped) Reverse(lp *core.LP, ev *core.Event) { w.inner.Reverse(lp, ev) }
+
+// Commit implements core.Committer: the inner handler's Commit (if any)
+// runs first, then the event is recorded.
+func (w *wrapped) Commit(lp *core.LP, ev *core.Event) {
+	if committer, ok := w.inner.(core.Committer); ok {
+		committer.Commit(lp, ev)
+	}
+	w.rec.add(Record{
+		T:    ev.RecvTime(),
+		Dst:  ev.Dst(),
+		Src:  ev.Src(),
+		Note: w.describe(lp, ev),
+	})
+}

@@ -1,0 +1,201 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// echoState counts events; echoMsg carries an id.
+type echoState struct{ count int64 }
+type echoMsg struct {
+	ID   int
+	Prev int64
+}
+
+type echoModel struct{ numLPs int64 }
+
+func (m echoModel) Forward(lp *core.LP, ev *core.Event) {
+	st := lp.State.(*echoState)
+	msg := ev.Data.(*echoMsg)
+	msg.Prev = st.count
+	st.count++
+	if msg.ID > 0 {
+		dst := core.LPID(lp.RandInt(0, m.numLPs-1))
+		lp.Send(dst, core.Time(lp.RandExp(1))+0.01, &echoMsg{ID: msg.ID - 1})
+	}
+}
+func (m echoModel) Reverse(lp *core.LP, ev *core.Event) {
+	lp.State.(*echoState).count = ev.Data.(*echoMsg).Prev
+}
+
+func run(t *testing.T, parallel bool, rec *Recorder) int64 {
+	t.Helper()
+	cfg := core.Config{NumLPs: 16, EndTime: 40, Seed: 21}
+	if parallel {
+		cfg.NumPEs = 4
+		cfg.NumKPs = 8
+		cfg.BatchSize = 4
+		cfg.GVTInterval = 2
+	}
+	install := func(h core.Host) {
+		model := echoModel{numLPs: 16}
+		h.ForEachLP(func(lp *core.LP) {
+			lp.Handler = Wrap(model, rec, nil)
+			lp.State = &echoState{}
+		})
+		for i := 0; i < 16; i++ {
+			h.Schedule(core.LPID(i), core.Time(0.01*float64(i+1)), &echoMsg{ID: 12})
+		}
+	}
+	if parallel {
+		s, err := core.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		install(s)
+		stats, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Committed
+	}
+	q, err := core.NewSequential(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	install(q)
+	stats, err := q.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats.Committed
+}
+
+// TestTraceCountsCommits: exactly one record per committed event, even
+// under rollbacks.
+func TestTraceCountsCommits(t *testing.T) {
+	rec := NewRecorder(0)
+	committed := run(t, true, rec)
+	if int64(rec.Len()) != committed {
+		t.Fatalf("recorded %d, committed %d", rec.Len(), committed)
+	}
+}
+
+// TestTraceParallelEqualsSequential: the sorted parallel trace must be
+// identical to the sequential trace.
+func TestTraceParallelEqualsSequential(t *testing.T) {
+	seqRec := NewRecorder(0)
+	run(t, false, seqRec)
+	parRec := NewRecorder(0)
+	run(t, true, parRec)
+
+	var seqBuf, parBuf bytes.Buffer
+	if err := seqRec.Dump(&seqBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := parRec.Dump(&parBuf); err != nil {
+		t.Fatal(err)
+	}
+	if seqBuf.String() != parBuf.String() {
+		t.Fatalf("traces differ:\nseq %d bytes, par %d bytes", seqBuf.Len(), parBuf.Len())
+	}
+	if seqBuf.Len() == 0 {
+		t.Fatal("empty trace")
+	}
+}
+
+// TestTraceSorted: records come out in event order.
+func TestTraceSorted(t *testing.T) {
+	rec := NewRecorder(0)
+	run(t, true, rec)
+	records := rec.Records()
+	for i := 1; i < len(records); i++ {
+		if records[i].T < records[i-1].T {
+			t.Fatalf("trace out of order at %d: %v after %v", i, records[i].T, records[i-1].T)
+		}
+	}
+}
+
+// TestTraceLimit: the recorder must cap and count drops.
+func TestTraceLimit(t *testing.T) {
+	rec := NewRecorder(10)
+	committed := run(t, false, rec)
+	if rec.Len() != 10 {
+		t.Fatalf("held %d records, limit 10", rec.Len())
+	}
+	if rec.Dropped() != committed-10 {
+		t.Fatalf("dropped %d, want %d", rec.Dropped(), committed-10)
+	}
+	var buf bytes.Buffer
+	if err := rec.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "dropped") {
+		t.Fatal("dump does not mention drops")
+	}
+}
+
+// committingModel implements Committer itself, so Wrap must chain to it.
+// Commit runs on every PE goroutine, hence the atomic counter.
+type committingModel struct {
+	echoModel
+	commits *atomic.Int64
+}
+
+func (m committingModel) Commit(lp *core.LP, ev *core.Event) { m.commits.Add(1) }
+
+// TestWrapChainsInnerCommit: when the wrapped model has its own Commit,
+// the recorder must call it and still record the event.
+func TestWrapChainsInnerCommit(t *testing.T) {
+	rec := NewRecorder(0)
+	var commits atomic.Int64
+	s, err := core.New(core.Config{NumLPs: 4, EndTime: 20, Seed: 8, NumPEs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := committingModel{echoModel: echoModel{numLPs: 4}, commits: &commits}
+	s.ForEachLP(func(lp *core.LP) {
+		lp.Handler = Wrap(model, rec, nil)
+		lp.State = &echoState{}
+	})
+	for i := 0; i < 4; i++ {
+		s.Schedule(core.LPID(i), core.Time(0.01*float64(i+1)), &echoMsg{ID: 5})
+	}
+	stats, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if commits.Load() != stats.Committed {
+		t.Fatalf("inner Commit ran %d times, committed %d", commits.Load(), stats.Committed)
+	}
+	if int64(rec.Len()) != stats.Committed {
+		t.Fatalf("recorder saw %d, committed %d", rec.Len(), stats.Committed)
+	}
+}
+
+// TestDescribeCustom: a custom describer's output lands in the notes.
+func TestDescribeCustom(t *testing.T) {
+	rec := NewRecorder(0)
+	cfg := core.Config{NumLPs: 1, EndTime: 10, NumPEs: 1}
+	s, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := echoModel{numLPs: 1}
+	s.ForEachLP(func(lp *core.LP) {
+		lp.Handler = Wrap(model, rec, func(lp *core.LP, ev *core.Event) string { return "CUSTOM" })
+		lp.State = &echoState{}
+	})
+	s.Schedule(0, 1, &echoMsg{ID: 0})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	records := rec.Records()
+	if len(records) != 1 || records[0].Note != "CUSTOM" {
+		t.Fatalf("records = %+v", records)
+	}
+}

@@ -1,0 +1,174 @@
+// Package traffic provides destination-selection patterns for the
+// hot-potato workload: the standard synthetic traffic suite of the
+// interconnection-network literature (uniform random, transpose,
+// bit-complement, tornado, hotspot, neighbour). The report evaluates
+// uniform random traffic only; the other patterns are the natural
+// extension for the optical-switching use case its introduction motivates
+// — adversarial permutations and hotspots are where deflection routing's
+// behaviour differentiates.
+//
+// Patterns draw any randomness they need through the caller-supplied
+// integer source (the router LP's reversible stream), so destinations
+// replay identically under rollback. Deterministic patterns draw nothing.
+package traffic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/topology"
+)
+
+// RandInt is the random source signature patterns draw from: a uniform
+// integer in [lo, hi] inclusive.
+type RandInt func(lo, hi int64) int64
+
+// Pattern selects a destination for a packet injected at src.
+type Pattern interface {
+	// Name identifies the pattern in reports and CLI flags.
+	Name() string
+	// Dest returns the destination node for a packet injected at src on
+	// net. It must not return src itself unless the pattern is degenerate
+	// there (callers skip self-addressed packets).
+	Dest(net topology.Network, src int, rand RandInt) int
+}
+
+// Uniform is the report's workload: a uniformly random destination other
+// than the source. Consumes one draw.
+type Uniform struct{}
+
+// Name implements Pattern.
+func (Uniform) Name() string { return "uniform" }
+
+// Dest implements Pattern.
+func (Uniform) Dest(net topology.Network, src int, rand RandInt) int {
+	d := int(rand(0, int64(net.Size())-2))
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// Transpose sends (r, c) to (c, r): the matrix-transpose permutation,
+// adversarial for dimension-ordered schemes. Deterministic.
+type Transpose struct{}
+
+// Name implements Pattern.
+func (Transpose) Name() string { return "transpose" }
+
+// Dest implements Pattern.
+func (Transpose) Dest(net topology.Network, src int, _ RandInt) int {
+	n := net.N()
+	r, c := src/n, src%n
+	return c*n + r
+}
+
+// BitComplement sends node i to node size-1-i, i.e. (r, c) to
+// (N-1-r, N-1-c): every packet crosses the network centre. Deterministic.
+type BitComplement struct{}
+
+// Name implements Pattern.
+func (BitComplement) Name() string { return "complement" }
+
+// Dest implements Pattern.
+func (BitComplement) Dest(net topology.Network, src int, _ RandInt) int {
+	return net.Size() - 1 - src
+}
+
+// Tornado sends each node halfway around its own row — the classic
+// worst case for minimal routing on rings and tori. Deterministic.
+type Tornado struct{}
+
+// Name implements Pattern.
+func (Tornado) Name() string { return "tornado" }
+
+// Dest implements Pattern.
+func (Tornado) Dest(net topology.Network, src int, _ RandInt) int {
+	n := net.N()
+	r, c := src/n, src%n
+	return r*n + (c+(n-1)/2)%n
+}
+
+// Neighbor sends to a uniformly random adjacent node: the best case for
+// any routing scheme. Consumes one draw.
+type Neighbor struct{}
+
+// Name implements Pattern.
+func (Neighbor) Name() string { return "neighbor" }
+
+// Dest implements Pattern.
+func (Neighbor) Dest(net topology.Network, src int, rand RandInt) int {
+	links := net.Links(src)
+	d := links.Nth(int(rand(0, int64(links.Count())-1)))
+	return net.Neighbor(src, d)
+}
+
+// Hotspot sends to one fixed node with probability Fraction and uniformly
+// otherwise — the congestion-collapse scenario. Consumes one or two draws.
+type Hotspot struct {
+	// Target is the hot node; -1 (or out of range) means the network
+	// centre.
+	Target int
+	// Fraction is the probability of addressing the hotspot; the
+	// remainder is uniform. Default 0.2 when zero.
+	Fraction float64
+}
+
+// Name implements Pattern.
+func (h Hotspot) Name() string { return "hotspot" }
+
+func (h Hotspot) params(net topology.Network) (target int, fraction float64) {
+	target = h.Target
+	if target < 0 || target >= net.Size() {
+		n := net.N()
+		target = (n/2)*n + n/2
+	}
+	fraction = h.Fraction
+	if fraction <= 0 {
+		fraction = 0.2
+	}
+	return target, fraction
+}
+
+// Dest implements Pattern.
+func (h Hotspot) Dest(net topology.Network, src int, rand RandInt) int {
+	target, fraction := h.params(net)
+	// One integer draw emulates a Bernoulli trial so the pattern stays on
+	// the single-draw-per-decision discipline.
+	if float64(rand(0, 999999))/1000000 < fraction && target != src {
+		return target
+	}
+	return Uniform{}.Dest(net, src, rand)
+}
+
+// ByName resolves a pattern name; "hotspot" accepts an optional
+// ":fraction" suffix (e.g. "hotspot:0.3").
+func ByName(name string) (Pattern, error) {
+	switch {
+	case name == "" || name == "uniform":
+		return Uniform{}, nil
+	case name == "transpose":
+		return Transpose{}, nil
+	case name == "complement":
+		return BitComplement{}, nil
+	case name == "tornado":
+		return Tornado{}, nil
+	case name == "neighbor":
+		return Neighbor{}, nil
+	case name == "hotspot":
+		return Hotspot{Target: -1}, nil
+	case strings.HasPrefix(name, "hotspot:"):
+		frac, err := strconv.ParseFloat(strings.TrimPrefix(name, "hotspot:"), 64)
+		if err != nil || frac <= 0 || frac > 1 {
+			return nil, fmt.Errorf("traffic: bad hotspot fraction in %q", name)
+		}
+		return Hotspot{Target: -1, Fraction: frac}, nil
+	}
+	return nil, fmt.Errorf("traffic: unknown pattern %q", name)
+}
+
+// Names lists the selectable pattern names.
+func Names() []string {
+	return []string{"uniform", "transpose", "complement", "tornado", "neighbor", "hotspot"}
+}

@@ -1,0 +1,177 @@
+package traffic
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+func randSource() RandInt {
+	st := rng.NewStream(99)
+	return st.Integer
+}
+
+// TestUniformCoversNetwork: uniform traffic must reach every node except
+// the source.
+func TestUniformCoversNetwork(t *testing.T) {
+	net := topology.NewTorus(4)
+	rand := randSource()
+	seen := map[int]bool{}
+	const src = 5
+	for i := 0; i < 2000; i++ {
+		d := Uniform{}.Dest(net, src, rand)
+		if d == src {
+			t.Fatal("uniform returned the source")
+		}
+		if d < 0 || d >= net.Size() {
+			t.Fatalf("destination %d out of range", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) != net.Size()-1 {
+		t.Fatalf("uniform covered %d of %d destinations", len(seen), net.Size()-1)
+	}
+}
+
+// TestTransposeIsInvolution: applying transpose twice returns the source,
+// and the diagonal maps to itself.
+func TestTransposeIsInvolution(t *testing.T) {
+	net := topology.NewTorus(5)
+	for src := 0; src < net.Size(); src++ {
+		d := Transpose{}.Dest(net, src, nil)
+		back := Transpose{}.Dest(net, d, nil)
+		if back != src {
+			t.Fatalf("transpose not an involution at %d", src)
+		}
+		r, c := src/5, src%5
+		if r == c && d != src {
+			t.Fatalf("diagonal node %d mapped to %d", src, d)
+		}
+	}
+}
+
+// TestComplementIsInvolution: complement twice is the identity and the
+// destination mirrors both coordinates.
+func TestComplementIsInvolution(t *testing.T) {
+	net := topology.NewTorus(6)
+	for src := 0; src < net.Size(); src++ {
+		d := BitComplement{}.Dest(net, src, nil)
+		if (BitComplement{}).Dest(net, d, nil) != src {
+			t.Fatalf("complement not an involution at %d", src)
+		}
+		sr, sc := src/6, src%6
+		dr, dc := d/6, d%6
+		if dr != 5-sr || dc != 5-sc {
+			t.Fatalf("complement of (%d,%d) = (%d,%d)", sr, sc, dr, dc)
+		}
+	}
+}
+
+// TestTornadoStaysInRow: tornado keeps the row and moves ⌊(N-1)/2⌋
+// columns.
+func TestTornadoStaysInRow(t *testing.T) {
+	net := topology.NewTorus(8)
+	for src := 0; src < net.Size(); src++ {
+		d := Tornado{}.Dest(net, src, nil)
+		if d/8 != src/8 {
+			t.Fatalf("tornado left the row at %d", src)
+		}
+		wantCol := (src%8 + 3) % 8
+		if d%8 != wantCol {
+			t.Fatalf("tornado column %d, want %d", d%8, wantCol)
+		}
+	}
+}
+
+// TestNeighborIsAdjacent: neighbour traffic lands at distance one.
+func TestNeighborIsAdjacent(t *testing.T) {
+	net := topology.NewTorus(5)
+	rand := randSource()
+	for i := 0; i < 500; i++ {
+		src := i % net.Size()
+		d := Neighbor{}.Dest(net, src, rand)
+		if net.Dist(src, d) != 1 {
+			t.Fatalf("neighbour destination at distance %d", net.Dist(src, d))
+		}
+	}
+}
+
+// TestHotspotFraction: the hotspot receives roughly its configured share.
+func TestHotspotFraction(t *testing.T) {
+	net := topology.NewTorus(8)
+	rand := randSource()
+	h := Hotspot{Target: 27, Fraction: 0.3}
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		src := (i*13 + 1) % net.Size()
+		if src == 27 {
+			continue
+		}
+		if h.Dest(net, src, rand) == 27 {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	// Uniform traffic also hits the hotspot occasionally, so the observed
+	// fraction is slightly above 0.3.
+	if frac < 0.27 || frac > 0.36 {
+		t.Fatalf("hotspot fraction %.3f, want ≈0.30", frac)
+	}
+}
+
+// TestHotspotDefaultsToCenter: an out-of-range target becomes the centre.
+func TestHotspotDefaultsToCenter(t *testing.T) {
+	net := topology.NewTorus(8)
+	target, frac := Hotspot{Target: -1}.params(net)
+	if target != 4*8+4 {
+		t.Fatalf("default target %d", target)
+	}
+	if frac != 0.2 {
+		t.Fatalf("default fraction %v", frac)
+	}
+}
+
+// TestByName covers the registry including the hotspot fraction syntax.
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Name() != name {
+			t.Fatalf("registry name %q != pattern name %q", name, p.Name())
+		}
+	}
+	p, err := ByName("hotspot:0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, ok := p.(Hotspot); !ok || h.Fraction != 0.5 {
+		t.Fatalf("parsed hotspot = %+v", p)
+	}
+	for _, bad := range []string{"nope", "hotspot:x", "hotspot:0", "hotspot:2"} {
+		if _, err := ByName(bad); err == nil {
+			t.Fatalf("%q accepted", bad)
+		}
+	}
+	if p, err := ByName(""); err != nil || p.Name() != "uniform" {
+		t.Fatal("empty name must default to uniform")
+	}
+}
+
+// TestDeterministicPatternsDrawNothing: transpose/complement/tornado must
+// not consume randomness (their draw count is part of the reverse-
+// computation contract).
+func TestDeterministicPatternsDrawNothing(t *testing.T) {
+	net := topology.NewTorus(6)
+	st := rng.NewStream(7)
+	before := st.Draws()
+	for _, p := range []Pattern{Transpose{}, BitComplement{}, Tornado{}} {
+		p.Dest(net, 8, st.Integer)
+	}
+	if st.Draws() != before {
+		t.Fatal("deterministic pattern consumed randomness")
+	}
+}
