@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench figures figures-full examples clean
+.PHONY: all build test race cover bench simcheck check figures figures-full examples clean
 
 all: build test
 
@@ -14,7 +14,15 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test ./... -race
+	$(GO) test ./... -race -timeout 15m
+
+# Differential smoke matrix: all models under all engines, clean and
+# fault-injected, compared against the sequential reference (seconds).
+simcheck:
+	$(GO) run ./cmd/simcheck
+
+# Everything a PR must pass: vet, tests, race tests, differential matrix.
+check: build test race simcheck
 
 cover:
 	$(GO) test ./internal/... -cover

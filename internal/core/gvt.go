@@ -58,8 +58,16 @@ func (b *barrier) poison() {
 }
 
 // requestGVT asks every PE to rendezvous for a GVT round at its next
-// scheduling boundary.
+// scheduling boundary. Under the GVTDelay fault only every (n+1)-th request
+// goes through; a suppressed request is safe because every path that needs
+// GVT to advance (idle spin, optimism throttle, batch quota) re-requests
+// until the round actually happens.
 func (s *Simulator) requestGVT() {
+	if f := s.cfg.Faults; f != nil && f.GVTDelay > 0 {
+		if s.gvtDelayed.Add(1)%int64(f.GVTDelay+1) != 0 {
+			return
+		}
+	}
 	s.gvtRequested.Store(true)
 }
 

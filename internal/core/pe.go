@@ -61,6 +61,9 @@ type PE struct {
 	idleSpins     int
 	idleThreshold int
 
+	// faults is non-nil only when Config.Faults is set; see faults.go.
+	faults *peFaults
+
 	// Statistics (owned by this PE; read by others only after Run).
 	processed          int64
 	committed          int64
@@ -70,6 +73,7 @@ type PE struct {
 	mailSent           int64
 	mailReceived       int64
 	canceledPending    int64
+	forcedRollbacks    int64
 	busy               time.Duration
 }
 
@@ -94,6 +98,9 @@ func (pe *PE) drainMailbox() {
 	}
 	pe.sim.delivered.Add(int64(len(msgs)))
 	pe.mailReceived += int64(len(msgs))
+	if pe.faults != nil && pe.faults.plan.ShuffleMail && len(msgs) > 1 {
+		pe.faults.perturbMail(msgs)
+	}
 	for _, m := range msgs {
 		if m.cancel {
 			pe.cancelLocal(m.ev)
@@ -275,13 +282,17 @@ func (pe *PE) run() (err error) {
 		}
 
 		n := 0
+		batch := s.cfg.BatchSize
+		if pe.faults != nil {
+			batch = pe.faults.batchCap(pe.id, batch)
+		}
 		horizon := s.cfg.EndTime
 		if s.cfg.MaxOptimism > 0 {
 			if h := s.GVT() + s.cfg.MaxOptimism; h < horizon {
 				horizon = h
 			}
 		}
-		for n < s.cfg.BatchSize {
+		for n < batch {
 			ev, ok := pe.nextLive()
 			if !ok || ev.recvTime >= horizon {
 				break
@@ -320,6 +331,14 @@ func (pe *PE) run() (err error) {
 		pe.idleSpins = 0
 		pe.idleThreshold = minIdleThreshold
 		pe.sinceGVT += n
+		if pe.faults != nil {
+			pe.maybeForceRollback(n)
+			if batch < s.cfg.BatchSize {
+				// Throttled PE: hand the processor over so the gap to the
+				// unthrottled PEs actually widens.
+				runtime.Gosched()
+			}
+		}
 		if pe.sinceGVT >= s.cfg.BatchSize*s.cfg.GVTInterval {
 			pe.sinceGVT = 0
 			s.requestGVT()

@@ -70,6 +70,14 @@ type Config struct {
 	// cause was a cancellation (secondary) rather than a straggler. It
 	// runs on the owning PE's goroutine in the scheduling hot path.
 	OnRollback func(kp int, events int, secondary bool)
+
+	// Faults, when set, arms the kernel's fault injectors (forced
+	// rollbacks, GVT delay, mailbox perturbation, PE throttling); see the
+	// Faults type. The injectors stress speculative machinery without
+	// changing committed results — they exist for the simcheck harness and
+	// must stay nil in production runs. Only the optimistic Simulator
+	// honours the plan.
+	Faults *Faults
 }
 
 func (cfg *Config) setDefaults() error {
@@ -127,6 +135,11 @@ func (cfg *Config) setDefaults() error {
 	default:
 		return fmt.Errorf("core: unknown queue kind %q", cfg.Queue)
 	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -155,6 +168,7 @@ type Simulator struct {
 	bar          *barrier
 	sent         atomic.Int64
 	delivered    atomic.Int64
+	gvtDelayed   atomic.Int64
 	gvtRequested atomic.Bool
 	gvtStable    atomic.Bool
 	finished     atomic.Bool
@@ -179,6 +193,9 @@ func New(cfg Config) (*Simulator, error) {
 	s.pes = make([]*PE, cfg.NumPEs)
 	for i := range s.pes {
 		s.pes[i] = &PE{id: i, sim: s, idleThreshold: minIdleThreshold}
+		if cfg.Faults != nil {
+			s.pes[i].faults = newPEFaults(cfg.Faults, i)
+		}
 	}
 	for i := range s.kps {
 		peID := cfg.PEOfKP(i)

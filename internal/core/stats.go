@@ -14,9 +14,12 @@ type PEStats struct {
 	RolledBackEvents   int64
 	PrimaryRollbacks   int64
 	SecondaryRollbacks int64
-	MailSent           int64
-	MailReceived       int64
-	Busy               time.Duration
+	// ForcedRollbacks counts rollbacks injected by the fault plan
+	// (Config.Faults); always zero in production runs.
+	ForcedRollbacks int64
+	MailSent        int64
+	MailReceived    int64
+	Busy            time.Duration
 }
 
 // KPStats are per-kernel-process counters — the rollback-locality data
@@ -44,6 +47,7 @@ type Stats struct {
 	RolledBackEvents   int64
 	PrimaryRollbacks   int64
 	SecondaryRollbacks int64
+	ForcedRollbacks    int64
 	MailSent           int64
 	MailReceived       int64
 	GVTRounds          int64
@@ -74,6 +78,7 @@ func (s *Simulator) collectStats(wall time.Duration) *Stats {
 			RolledBackEvents:   pe.rolledBackEvents,
 			PrimaryRollbacks:   pe.primaryRollbacks,
 			SecondaryRollbacks: pe.secondaryRollbacks,
+			ForcedRollbacks:    pe.forcedRollbacks,
 			MailSent:           pe.mailSent,
 			MailReceived:       pe.mailReceived,
 			Busy:               pe.busy,
@@ -84,6 +89,7 @@ func (s *Simulator) collectStats(wall time.Duration) *Stats {
 		st.RolledBackEvents += ps.RolledBackEvents
 		st.PrimaryRollbacks += ps.PrimaryRollbacks
 		st.SecondaryRollbacks += ps.SecondaryRollbacks
+		st.ForcedRollbacks += ps.ForcedRollbacks
 		st.MailSent += ps.MailSent
 		st.MailReceived += ps.MailReceived
 	}
@@ -117,6 +123,9 @@ func (st *Stats) String() string {
 	fmt.Fprintf(&b, "  events processed:   %d\n", st.Processed)
 	fmt.Fprintf(&b, "  events rolled back: %d\n", st.RolledBackEvents)
 	fmt.Fprintf(&b, "  rollbacks:          %d primary, %d secondary\n", st.PrimaryRollbacks, st.SecondaryRollbacks)
+	if st.ForcedRollbacks > 0 {
+		fmt.Fprintf(&b, "  forced rollbacks:   %d (fault injection)\n", st.ForcedRollbacks)
+	}
 	fmt.Fprintf(&b, "  remote messages:    %d sent, %d received\n", st.MailSent, st.MailReceived)
 	fmt.Fprintf(&b, "  GVT rounds:         %d\n", st.GVTRounds)
 	fmt.Fprintf(&b, "  peak live events:   %d\n", st.PeakLiveEvents)

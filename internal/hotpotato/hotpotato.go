@@ -113,6 +113,9 @@ type Config struct {
 	// CheckInvariants enables the kernel's paranoid mode (see
 	// core.Config.CheckInvariants).
 	CheckInvariants bool
+	// Faults arms the kernel's fault injectors (see core.Faults); only the
+	// optimistic Build honours it.
+	Faults *core.Faults
 }
 
 // DefaultConfig returns the report's standard configuration for an N×N
@@ -203,6 +206,7 @@ func Build(cfg Config) (*core.Simulator, *Model, error) {
 		MaxOptimism:     cfg.MaxOptimism,
 		OnGVT:           cfg.OnGVT,
 		CheckInvariants: cfg.CheckInvariants,
+		Faults:          cfg.Faults,
 	}
 	sim, err := core.New(kcfg)
 	if err != nil {

@@ -1,0 +1,226 @@
+package hotpotato
+
+import (
+	"testing"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// This file pins the Busch policy's priority-state machine (report §1.2.4)
+// transition by transition, with link geometry taken from a real 8×8 torus
+// rather than hand-built direction sets, and with scripted randomness so
+// each probabilistic branch is forced both ways.
+//
+// Probability reminders at n=8: a routed Sleeping packet upgrades with
+// probability 1/(24n) = 1/192; a deflected Active packet upgrades with
+// probability 1/(16n) = 1/128.
+
+// scriptedCtx builds a Ctx for the torus hop from→to with deterministic
+// randomness: rand is returned by every Rand() call, and RandInt always
+// picks index pickIdx (clamped to the requested range).
+func scriptedCtx(t *testing.T, net topology.Torus, from, to int, prio routing.State, free topology.DirSet, rand float64, pickIdx int64) *routing.Ctx {
+	t.Helper()
+	return &routing.Ctx{
+		Prio:    prio,
+		Free:    free,
+		Good:    net.GoodDirs(from, to),
+		HomeRun: net.HomeRunDir(from, to),
+		N:       net.N(),
+		Rand:    func() float64 { return rand },
+		RandInt: func(lo, hi int64) int64 {
+			if pickIdx < lo || pickIdx > hi {
+				return lo
+			}
+			return pickIdx
+		},
+	}
+}
+
+func TestBuschPriorityTransitions(t *testing.T) {
+	net := topology.NewTorus(8)
+	policy := routing.NewBusch()
+	all := net.Links(0) // torus: all four links exist everywhere
+
+	// Geometry on the 8×8 torus, IDs are row*8+col:
+	//   (0,0)→(0,3): east-only traffic — Good = {East}, HomeRun = East.
+	//   (0,0)→(2,2): Good = {East, South}, HomeRun = East (row-first).
+	const (
+		origin   = 0
+		eastward = 3  // (0, 3)
+		diagonal = 18 // (2, 2)
+	)
+	east := net.HomeRunDir(origin, eastward)
+	if east != topology.East {
+		t.Fatalf("geometry sanity: home-run (0,0)→(0,3) = %v, want East", east)
+	}
+
+	// noGood blocks every good link for the diagonal destination but keeps
+	// the network's other links free, forcing a deflection.
+	noGood := all.Remove(topology.East).Remove(topology.South)
+
+	cases := []struct {
+		name string
+		to   int
+		prio routing.State
+		free topology.DirSet
+		rand float64 // scripted Rand() value
+		pick int64   // scripted RandInt() index
+
+		wantPrio      routing.State
+		wantDeflected bool
+		// wantDirIn, when non-empty, asserts the chosen link's membership.
+		wantDirIn topology.DirSet
+		// wantDir, when set (not None), asserts the exact link.
+		wantDir topology.Direction
+	}{
+		{
+			name: "sleeping advances and stays sleeping above 1/24n",
+			to:   eastward, prio: routing.Sleeping, free: all, rand: 1.0 / 192 * 1.01,
+			wantPrio: routing.Sleeping, wantDir: topology.East,
+		},
+		{
+			name: "sleeping upgrades to active below 1/24n",
+			to:   eastward, prio: routing.Sleeping, free: all, rand: 1.0 / 192 * 0.99,
+			wantPrio: routing.Active, wantDir: topology.East,
+		},
+		{
+			name: "sleeping deflected still rolls the upgrade die",
+			to:   diagonal, prio: routing.Sleeping, free: noGood, rand: 1.0 / 192 * 0.99,
+			wantPrio: routing.Active, wantDeflected: true, wantDirIn: noGood,
+		},
+		{
+			name: "active advancing never upgrades",
+			to:   eastward, prio: routing.Active, free: all, rand: 0,
+			wantPrio: routing.Active, wantDir: topology.East,
+		},
+		{
+			name: "active deflected upgrades to excited below 1/16n",
+			to:   diagonal, prio: routing.Active, free: noGood, rand: 1.0 / 128 * 0.99,
+			wantPrio: routing.Excited, wantDeflected: true, wantDirIn: noGood,
+		},
+		{
+			name: "active deflected stays active above 1/16n",
+			to:   diagonal, prio: routing.Active, free: noGood, rand: 1.0 / 128 * 1.01,
+			wantPrio: routing.Active, wantDeflected: true, wantDirIn: noGood,
+		},
+		{
+			name: "excited granted home-run becomes running",
+			to:   diagonal, prio: routing.Excited, free: all,
+			wantPrio: routing.Running, wantDir: topology.East, // row-first
+		},
+		{
+			name: "excited denied home-run falls back to active",
+			to:   diagonal, prio: routing.Excited, free: noGood,
+			wantPrio: routing.Active, wantDeflected: true, wantDirIn: noGood,
+		},
+		{
+			name: "running keeps its home-run link",
+			to:   diagonal, prio: routing.Running, free: all,
+			wantPrio: routing.Running, wantDir: topology.East,
+		},
+		{
+			name: "running loses its link and drops to active",
+			to:   diagonal, prio: routing.Running, free: noGood,
+			wantPrio: routing.Active, wantDeflected: true, wantDirIn: noGood,
+		},
+		{
+			name: "running grabs the bend link south after turning",
+			to:   8, // (1, 0): same column, HomeRun = South
+			prio: routing.Running, free: all,
+			wantPrio: routing.Running, wantDir: topology.South,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			ctx := scriptedCtx(t, net, origin, tc.to, tc.prio, tc.free, tc.rand, tc.pick)
+			d := policy.Route(ctx)
+			if d.NewPrio != tc.wantPrio {
+				t.Errorf("NewPrio = %v, want %v", d.NewPrio, tc.wantPrio)
+			}
+			if d.Deflected != tc.wantDeflected {
+				t.Errorf("Deflected = %v, want %v", d.Deflected, tc.wantDeflected)
+			}
+			if tc.wantDir != topology.None && d.Dir != tc.wantDir {
+				t.Errorf("Dir = %v, want %v", d.Dir, tc.wantDir)
+			}
+			if !tc.wantDirIn.Empty() && !tc.wantDirIn.Has(d.Dir) {
+				t.Errorf("Dir = %v, want a member of %v", d.Dir, tc.wantDirIn)
+			}
+			if !ctx.Free.Has(d.Dir) {
+				t.Errorf("Dir = %v is not free", d.Dir)
+			}
+		})
+	}
+}
+
+// TestBuschTieBreaking pins how ties are broken when several links would
+// do: among free∩good links when advancing, and among all free links when
+// deflecting, the policy takes exactly the RandInt-selected member — every
+// candidate is reachable and the choice is uniform in the scripted index.
+func TestBuschTieBreaking(t *testing.T) {
+	net := topology.NewTorus(8)
+	policy := routing.NewBusch()
+	all := net.Links(0)
+
+	const origin = 0
+	t.Run("advance ties among free good links", func(t *testing.T) {
+		// (0,0)→(2,2): East and South both shorten the path.
+		const diagonal = 18
+		good := net.GoodDirs(origin, diagonal)
+		if good.Count() != 2 {
+			t.Fatalf("geometry sanity: %d good dirs, want 2", good.Count())
+		}
+		seen := make(map[topology.Direction]bool)
+		for k := int64(0); k < int64(good.Count()); k++ {
+			ctx := scriptedCtx(t, net, origin, diagonal, routing.Active, all, 1, k)
+			d := policy.Route(ctx)
+			if d.Deflected {
+				t.Fatalf("pick %d: deflected with good links free", k)
+			}
+			if !good.Has(d.Dir) {
+				t.Fatalf("pick %d: dir %v not good", k, d.Dir)
+			}
+			if d.Dir != good.Nth(int(k)) {
+				t.Errorf("pick %d: dir %v, want the %d-th good link %v", k, d.Dir, k, good.Nth(int(k)))
+			}
+			seen[d.Dir] = true
+		}
+		if len(seen) != good.Count() {
+			t.Errorf("only %d of %d good links reachable", len(seen), good.Count())
+		}
+	})
+
+	t.Run("half-ring ties count both directions as good", func(t *testing.T) {
+		// (0,0)→(0,4) on an 8-ring: distance 4 either way, so East and
+		// West both strictly reduce the remaining torus distance.
+		const opposite = 4
+		good := net.GoodDirs(origin, opposite)
+		if !good.Has(topology.East) || !good.Has(topology.West) {
+			t.Fatalf("half-ring good dirs = %v, want East and West", good)
+		}
+		// The home-run path must still prefer the canonical direction
+		// (East wins row ties).
+		if hr := net.HomeRunDir(origin, opposite); hr != topology.East {
+			t.Errorf("half-ring home-run = %v, want East", hr)
+		}
+	})
+
+	t.Run("deflection ties among all free links", func(t *testing.T) {
+		// Eastbound packet with its only good link busy: all three
+		// remaining links are deflection candidates.
+		const eastward = 3
+		free := all.Remove(topology.East)
+		for k := int64(0); k < int64(free.Count()); k++ {
+			ctx := scriptedCtx(t, net, origin, eastward, routing.Active, free, 1, k)
+			d := policy.Route(ctx)
+			if !d.Deflected {
+				t.Fatalf("pick %d: not deflected without good links", k)
+			}
+			if d.Dir != free.Nth(int(k)) {
+				t.Errorf("pick %d: dir %v, want the %d-th free link %v", k, d.Dir, k, free.Nth(int(k)))
+			}
+		}
+	})
+}

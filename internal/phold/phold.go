@@ -43,6 +43,9 @@ type Config struct {
 	GVTInterval int
 	Queue       string
 	MaxOptimism core.Time
+	// Faults arms the kernel's fault injectors (see core.Faults); only the
+	// optimistic Build honours it.
+	Faults *core.Faults
 }
 
 func (cfg *Config) defaults() error {
@@ -92,6 +95,7 @@ func Build(cfg Config) (*core.Simulator, *Model, error) {
 		Queue:       cfg.Queue,
 		Seed:        cfg.Seed,
 		MaxOptimism: cfg.MaxOptimism,
+		Faults:      cfg.Faults,
 	})
 	if err != nil {
 		return nil, nil, err

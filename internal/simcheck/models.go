@@ -1,0 +1,205 @@
+package simcheck
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hotpotato"
+	"repro/internal/phold"
+	"repro/internal/qnet"
+)
+
+// modelSpec adapts one bundled model to the harness: which engines it can
+// build, and how to build an instrumented instance for a cell. Model sizes
+// are fixed small so a full matrix stays in CI territory; the seed is the
+// only knob a cell turns on the workload itself.
+type modelSpec struct {
+	engines map[EngineKind]bool
+	build   func(c Cell) (*instance, error)
+}
+
+var models = map[string]*modelSpec{
+	"hotpotato": {
+		engines: map[EngineKind]bool{EngSequential: true, EngConservative: true, EngOptimistic: true},
+		build:   buildHotpotato,
+	},
+	"phold": {
+		engines: map[EngineKind]bool{EngSequential: true, EngConservative: true, EngOptimistic: true},
+		build:   buildPHOLD,
+	},
+	// qnet ships no conservative builder, so it sweeps two engines.
+	"qnet": {
+		engines: map[EngineKind]bool{EngSequential: true, EngOptimistic: true},
+		build:   buildQNet,
+	},
+}
+
+// Aggressive scheduling knobs shared by all cells: small batches and
+// frequent GVT rounds maximise interleaving variety per committed event.
+const (
+	cellBatchSize   = 8
+	cellGVTInterval = 2
+)
+
+func buildHotpotato(c Cell) (*instance, error) {
+	cfg := hotpotato.Config{
+		N:               8,
+		Policy:          hotpotatoPolicy(c.Mutation),
+		InjectorPercent: 100,
+		InjectionProb:   1,
+		AbsorbSleeping:  true,
+		InitialFill:     4,
+		Steps:           30,
+		Seed:            c.Seed,
+		NumPEs:          c.PEs,
+		NumKPs:          c.KPs,
+		BatchSize:       cellBatchSize,
+		GVTInterval:     cellGVTInterval,
+		Queue:           c.Queue,
+		Faults:          c.Faults,
+	}
+	var (
+		host core.Host
+		run  func() (*core.Stats, error)
+		m    *hotpotato.Model
+		err  error
+	)
+	switch c.Engine {
+	case EngSequential:
+		var e *core.Sequential
+		if e, m, err = hotpotato.BuildSequential(cfg); err == nil {
+			host, run = e, e.Run
+		}
+	case EngConservative:
+		var e *core.Conservative
+		if e, m, err = hotpotato.BuildConservative(cfg); err == nil {
+			host, run = e, e.Run
+		}
+	case EngOptimistic:
+		var e *core.Simulator
+		if e, m, err = hotpotato.Build(cfg); err == nil {
+			host, run = e, e.Run
+		}
+	default:
+		err = fmt.Errorf("simcheck: unknown engine %q", c.Engine)
+	}
+	if err != nil {
+		return nil, err
+	}
+	inst := &instance{
+		host: host, run: run, numLPs: host.NumLPs(),
+		summary:  func() string { return m.Totals(host).String() },
+		describe: describeHotpotato,
+	}
+	inst.instrument(c)
+	return inst, nil
+}
+
+// describeHotpotato renders the semantic payload — event kind plus the
+// packet label — and deliberately drops the Msg's Saved* scratch area (see
+// instance.describe for why scratch cannot be hashed).
+func describeHotpotato(lp *core.LP, ev *core.Event) string {
+	if m, ok := ev.Data.(*hotpotato.Msg); ok {
+		return fmt.Sprintf("%v %+v", m.Kind, m.P)
+	}
+	return fmt.Sprintf("%v", ev.Data)
+}
+
+func buildPHOLD(c Cell) (*instance, error) {
+	cfg := phold.Config{
+		NumLPs:     64,
+		Population: 2,
+		RemoteProb: 0.5,
+		MeanDelay:  1,
+		Lookahead:  0.1,
+		EndTime:    40,
+		Seed:       c.Seed,
+		NumPEs:     c.PEs,
+		NumKPs:     c.KPs,
+		BatchSize:  cellBatchSize,
+		// GVTInterval below via kernel default would be too lazy; phold's
+		// Config exposes it directly.
+		GVTInterval: cellGVTInterval,
+		Queue:       c.Queue,
+		Faults:      c.Faults,
+	}
+	var (
+		host core.Host
+		run  func() (*core.Stats, error)
+		m    *phold.Model
+		err  error
+	)
+	switch c.Engine {
+	case EngSequential:
+		var e *core.Sequential
+		if e, m, err = phold.BuildSequential(cfg); err == nil {
+			host, run = e, e.Run
+		}
+	case EngConservative:
+		var e *core.Conservative
+		if e, m, err = phold.BuildConservative(cfg); err == nil {
+			host, run = e, e.Run
+		}
+	case EngOptimistic:
+		var e *core.Simulator
+		if e, m, err = phold.Build(cfg); err == nil {
+			host, run = e, e.Run
+		}
+	default:
+		err = fmt.Errorf("simcheck: unknown engine %q", c.Engine)
+	}
+	if err != nil {
+		return nil, err
+	}
+	inst := &instance{
+		host: host, run: run, numLPs: host.NumLPs(),
+		summary: func() string { return fmt.Sprintf("phold: %d jobs processed", m.TotalProcessed(host)) },
+	}
+	inst.instrument(c)
+	return inst, nil
+}
+
+func buildQNet(c Cell) (*instance, error) {
+	cfg := qnet.Config{
+		N:              6,
+		JobsPerStation: 2,
+		MeanService:    1,
+		EndTime:        25,
+		Seed:           c.Seed,
+		NumPEs:         c.PEs,
+		NumKPs:         c.KPs,
+		BatchSize:      cellBatchSize,
+		GVTInterval:    cellGVTInterval,
+		Queue:          c.Queue,
+		Faults:         c.Faults,
+	}
+	var (
+		host core.Host
+		run  func() (*core.Stats, error)
+		m    *qnet.Model
+		err  error
+	)
+	switch c.Engine {
+	case EngSequential:
+		var e *core.Sequential
+		if e, m, err = qnet.BuildSequential(cfg); err == nil {
+			host, run = e, e.Run
+		}
+	case EngOptimistic:
+		var e *core.Simulator
+		if e, m, err = qnet.Build(cfg); err == nil {
+			host, run = e, e.Run
+		}
+	default:
+		err = fmt.Errorf("simcheck: engine %q not supported by qnet", c.Engine)
+	}
+	if err != nil {
+		return nil, err
+	}
+	inst := &instance{
+		host: host, run: run, numLPs: host.NumLPs(),
+		summary: func() string { return m.Totals(host, cfg.EndTime).String() },
+	}
+	inst.instrument(c)
+	return inst, nil
+}

@@ -1,0 +1,80 @@
+package simcheck
+
+import (
+	"repro/internal/core"
+	"repro/internal/routing"
+)
+
+// Mutation names a deliberately seeded bug. Mutations exist to validate the
+// harness itself: a differential oracle that never fires is
+// indistinguishable from one that cannot fire, so the self-test arms each
+// mutation in the non-reference cells and asserts a divergence IS reported.
+type Mutation string
+
+// The seeded bugs.
+const (
+	MutNone Mutation = ""
+	// MutBrokenReverse makes every odd LP's Reverse handler forget to undo
+	// the model state — the classic hand-written reverse-computation bug.
+	// It only bites when rollbacks occur, so pair it with a fault plan that
+	// forces them.
+	MutBrokenReverse Mutation = "broken-reverse"
+	// MutBrokenPriority inverts the outcome of the hot-potato policy's
+	// Sleeping→Active upgrade comparison (Rand() < 1/24n becomes its
+	// complement), the kind of flipped-comparison bug a priority scheme
+	// makes easy to write. Hot-potato only.
+	MutBrokenPriority Mutation = "broken-priority"
+)
+
+// Mutations lists the seeded bugs available to -mutation.
+func Mutations() []Mutation { return []Mutation{MutBrokenReverse, MutBrokenPriority} }
+
+// brokenReverse skips the inner Reverse on odd LPs. Commit must still chain
+// so trace recording (and model commit pruning) keep working.
+type brokenReverse struct{ inner core.Handler }
+
+func (b brokenReverse) Forward(lp *core.LP, ev *core.Event) { b.inner.Forward(lp, ev) }
+
+func (b brokenReverse) Reverse(lp *core.LP, ev *core.Event) {
+	if lp.ID%2 == 1 {
+		return // seeded bug: forgets to restore state
+	}
+	b.inner.Reverse(lp, ev)
+}
+
+func (b brokenReverse) Commit(lp *core.LP, ev *core.Event) {
+	if committer, ok := b.inner.(core.Committer); ok {
+		committer.Commit(lp, ev)
+	}
+}
+
+// brokenPriority flips the Sleeping-state upgrade decision after the fact:
+// the inner policy consumes exactly the same random draws (so kernel
+// reversal accounting is untouched), but a packet that would have stayed
+// Sleeping upgrades and vice versa.
+type brokenPriority struct{ inner routing.Policy }
+
+func (b brokenPriority) Name() string { return b.inner.Name() + "+broken-priority" }
+
+func (b brokenPriority) Route(ctx *routing.Ctx) routing.Decision {
+	d := b.inner.Route(ctx)
+	if ctx.Prio == routing.Sleeping {
+		switch d.NewPrio {
+		case routing.Sleeping:
+			d.NewPrio = routing.Active
+		case routing.Active:
+			d.NewPrio = routing.Sleeping
+		}
+	}
+	return d
+}
+
+// hotpotatoPolicy returns the routing policy for a hot-potato cell,
+// mutated when the cell asks for it.
+func hotpotatoPolicy(m Mutation) routing.Policy {
+	base := routing.NewBusch()
+	if m == MutBrokenPriority {
+		return brokenPriority{inner: base}
+	}
+	return base
+}

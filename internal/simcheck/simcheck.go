@@ -1,0 +1,425 @@
+// Package simcheck is the differential correctness harness for the Time
+// Warp stack. Its core claim-check is the report's: optimistic parallel
+// execution commits *exactly* the trajectory the sequential simulator
+// produces. The harness makes that claim testable at scale by running each
+// bundled model (hot-potato, PHOLD, qnet) under every engine (sequential,
+// conservative, optimistic) across a matrix of PE/KP counts, queues and
+// seeds, and comparing run fingerprints: a hash of the committed event
+// trace, a per-LP event-order hash (to localise divergence), and a hash of
+// final model state.
+//
+// On top of the clean differential sweep it drives the kernel's fault
+// injectors (core.Faults) — forced rollbacks, GVT delay, mailbox
+// perturbation, PE throttling — which must leave every fingerprint
+// untouched; and it carries deliberately seeded bugs (Mutation) that must
+// NOT leave the fingerprints untouched, proving the harness can actually
+// see a divergence when one exists.
+//
+// A failure is reported as the diverging matrix cell (model, engine, PEs,
+// KPs, queue, seed, fault plan), which is the complete recipe for
+// reproducing it.
+package simcheck
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// EngineKind names one of the three execution engines.
+type EngineKind string
+
+// The engines the harness can drive.
+const (
+	EngSequential   EngineKind = "sequential"
+	EngConservative EngineKind = "conservative"
+	EngOptimistic   EngineKind = "optimistic"
+)
+
+// Engines lists all engine kinds in reference-first order.
+func Engines() []EngineKind {
+	return []EngineKind{EngSequential, EngConservative, EngOptimistic}
+}
+
+// Cell is one point of the differential matrix: everything needed to build
+// and run a simulation, and therefore everything needed to reproduce a
+// failure. Its String form is the failure artifact the harness prints.
+type Cell struct {
+	Model  string
+	Engine EngineKind
+	PEs    int
+	KPs    int
+	Queue  string
+	Seed   uint64
+	// Faults is the kernel fault plan; only meaningful for the optimistic
+	// engine.
+	Faults *core.Faults
+	// Mutation is the deliberately seeded bug, if any (self-test only).
+	Mutation Mutation
+}
+
+func (c Cell) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "model=%s engine=%s pes=%d kps=%d queue=%s seed=%d",
+		c.Model, c.Engine, c.PEs, c.KPs, c.Queue, c.Seed)
+	if c.Faults != nil {
+		fmt.Fprintf(&b, " faults=%+v", *c.Faults)
+	}
+	if c.Mutation != MutNone {
+		fmt.Fprintf(&b, " mutation=%s", c.Mutation)
+	}
+	return b.String()
+}
+
+// Fingerprint is what the harness compares between runs. Two runs of the
+// same model and seed must agree on every field regardless of engine,
+// parallelism, queue kind or fault plan.
+type Fingerprint struct {
+	// Committed is the kernel's committed event count.
+	Committed int64
+	// TraceLen is the number of committed, recorded events.
+	TraceLen int
+	// TraceHash digests the full committed trace in deterministic order.
+	TraceHash uint64
+	// LPHashes digests each LP's committed event order separately.
+	LPHashes []uint64
+	// StateHash digests the final per-LP model state.
+	StateHash uint64
+}
+
+// Result is one executed cell.
+type Result struct {
+	Cell    Cell
+	FP      Fingerprint
+	Stats   *core.Stats
+	Summary string
+}
+
+// Divergence is one detected mismatch (or failed run) with the artifact
+// needed to reproduce it.
+type Divergence struct {
+	// Ref is the reference cell (zero Cell when Got failed outright).
+	Ref Cell
+	// Got is the diverging cell.
+	Got Cell
+	// Details name the fingerprint fields that differ, or the run error.
+	Details []string
+}
+
+func (d Divergence) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "DIVERGENCE at [%s]", d.Got)
+	if d.Ref.Model != "" {
+		fmt.Fprintf(&b, "\n  reference [%s]", d.Ref)
+	}
+	for _, detail := range d.Details {
+		fmt.Fprintf(&b, "\n  %s", detail)
+	}
+	return b.String()
+}
+
+// compare returns the list of fingerprint fields where got differs from
+// ref; empty means the runs committed identical results.
+func compare(ref, got Fingerprint) []string {
+	var diffs []string
+	if ref.Committed != got.Committed {
+		diffs = append(diffs, fmt.Sprintf("committed events: ref=%d got=%d", ref.Committed, got.Committed))
+	}
+	if ref.TraceLen != got.TraceLen {
+		diffs = append(diffs, fmt.Sprintf("trace length: ref=%d got=%d", ref.TraceLen, got.TraceLen))
+	}
+	if ref.TraceHash != got.TraceHash {
+		diffs = append(diffs, fmt.Sprintf("trace hash: ref=%016x got=%016x", ref.TraceHash, got.TraceHash))
+	}
+	if len(ref.LPHashes) != len(got.LPHashes) {
+		diffs = append(diffs, fmt.Sprintf("LP count: ref=%d got=%d", len(ref.LPHashes), len(got.LPHashes)))
+	} else {
+		bad := make([]int, 0, 4)
+		for i := range ref.LPHashes {
+			if ref.LPHashes[i] != got.LPHashes[i] {
+				bad = append(bad, i)
+			}
+		}
+		if len(bad) > 0 {
+			show := bad
+			if len(show) > 8 {
+				show = show[:8]
+			}
+			diffs = append(diffs, fmt.Sprintf("per-LP event order: %d LPs differ, first %v", len(bad), show))
+		}
+	}
+	if ref.StateHash != got.StateHash {
+		diffs = append(diffs, fmt.Sprintf("final model state hash: ref=%016x got=%016x", ref.StateHash, got.StateHash))
+	}
+	return diffs
+}
+
+// Matrix spans a differential sweep. Every model runs under every engine it
+// supports, for every (PEs, KPs, queue, fault plan) combination and every
+// seed; each (model, seed) pair is compared against a clean single-PE
+// sequential reference run.
+type Matrix struct {
+	Models  []string
+	Engines []EngineKind
+	PEs     []int
+	KPs     []int
+	Queues  []string
+	Seeds   []uint64
+	// Faults are the kernel fault plans to sweep; nil entries mean a clean
+	// run, and non-nil entries apply only to optimistic cells.
+	Faults []*core.Faults
+	// Mutation arms a seeded bug in every non-sequential cell; the
+	// reference stays clean so the self-test can assert the harness
+	// reports the divergence.
+	Mutation Mutation
+}
+
+// Smoke is the CI matrix: both fast models under all three engines, two PE
+// counts, two seeds, clean and fault-injected. It finishes in seconds.
+func Smoke() Matrix {
+	return Matrix{
+		Models:  []string{"hotpotato", "phold"},
+		Engines: Engines(),
+		PEs:     []int{2, 4},
+		KPs:     []int{8},
+		Queues:  []string{"heap"},
+		Seeds:   []uint64{1, 42},
+		Faults:  []*core.Faults{nil, DefaultFaults()},
+	}
+}
+
+// Full is the pre-merge matrix: every model, both queue kinds, more seeds
+// and a second KP granularity.
+func Full() Matrix {
+	return Matrix{
+		Models:  ModelNames(),
+		Engines: Engines(),
+		PEs:     []int{1, 2, 4},
+		KPs:     []int{4, 16},
+		Queues:  []string{"heap", "splay"},
+		Seeds:   []uint64{1, 7, 42, 1234},
+		Faults:  []*core.Faults{nil, DefaultFaults()},
+	}
+}
+
+// DefaultFaults is the standard adversarial plan: frequent shallow forced
+// rollbacks, delayed GVT, perturbed delivery order and one throttled PE.
+func DefaultFaults() *core.Faults {
+	return &core.Faults{
+		Seed:          0xC0FFEE,
+		RollbackEvery: 2,
+		RollbackDepth: 4,
+		GVTDelay:      1,
+		ShuffleMail:   true,
+		ThrottlePEs:   1,
+		ThrottleBatch: 1,
+	}
+}
+
+// cells expands the matrix into concrete cells. The sequential engine is
+// deterministic in PEs/KPs/faults, so it collapses to one cell per (model,
+// queue, seed); fault plans apply only to the optimistic engine.
+func (m Matrix) cells(model string, seed uint64, spec *modelSpec) []Cell {
+	var out []Cell
+	seen := make(map[string]bool)
+	for _, eng := range m.Engines {
+		if !spec.engines[eng] {
+			continue
+		}
+		pes, kps, faults := m.PEs, m.KPs, m.Faults
+		if eng == EngSequential {
+			pes, kps = []int{1}, []int{1}
+		}
+		if eng != EngOptimistic {
+			faults = []*core.Faults{nil}
+		}
+		if len(faults) == 0 {
+			faults = []*core.Faults{nil}
+		}
+		for _, pe := range pes {
+			for _, kp := range kps {
+				for _, q := range m.Queues {
+					for _, f := range faults {
+						c := Cell{
+							Model: model, Engine: eng,
+							PEs: pe, KPs: kp, Queue: q, Seed: seed,
+							Faults: f,
+						}
+						if eng != EngSequential {
+							c.Mutation = m.Mutation
+						}
+						if key := c.String(); !seen[key] {
+							seen[key] = true
+							out = append(out, c)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Report is the outcome of a matrix run.
+type Report struct {
+	// Cells is the number of runs executed (references included).
+	Cells int
+	// Divergences holds every mismatch and failed run.
+	Divergences []Divergence
+	// ForcedRollbacks totals the fault-injected rollbacks across cells —
+	// evidence the adversarial plans actually fired.
+	ForcedRollbacks int64
+}
+
+// OK reports whether every cell matched its reference.
+func (r *Report) OK() bool { return len(r.Divergences) == 0 }
+
+// RunCell builds, instruments and runs one cell.
+func RunCell(c Cell) (Result, error) {
+	spec, ok := models[c.Model]
+	if !ok {
+		return Result{}, fmt.Errorf("simcheck: unknown model %q (have %v)", c.Model, ModelNames())
+	}
+	if !spec.engines[c.Engine] {
+		return Result{}, fmt.Errorf("simcheck: model %q does not support engine %q", c.Model, c.Engine)
+	}
+	inst, err := spec.build(c)
+	if err != nil {
+		return Result{}, err
+	}
+	stats, err := inst.run()
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Cell: c,
+		FP: Fingerprint{
+			Committed: stats.Committed,
+			TraceLen:  inst.rec.Len(),
+			TraceHash: inst.rec.Hash(),
+			LPHashes:  inst.rec.LPHashes(inst.numLPs),
+			StateHash: stateHash(inst.host),
+		},
+		Stats:   stats,
+		Summary: inst.summary(),
+	}
+	return res, nil
+}
+
+// Run executes the matrix and returns the report. logf, when non-nil,
+// receives one line per cell.
+func Run(m Matrix, logf func(format string, args ...any)) *Report {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	rep := &Report{}
+	for _, model := range m.Models {
+		spec, ok := models[model]
+		if !ok {
+			rep.Divergences = append(rep.Divergences, Divergence{
+				Got:     Cell{Model: model},
+				Details: []string{fmt.Sprintf("unknown model (have %v)", ModelNames())},
+			})
+			continue
+		}
+		queue := "heap"
+		if len(m.Queues) > 0 {
+			queue = m.Queues[0]
+		}
+		for _, seed := range m.Seeds {
+			// The reference is always a clean, unmutated sequential run.
+			refCell := Cell{Model: model, Engine: EngSequential, PEs: 1, KPs: 1, Queue: queue, Seed: seed}
+			ref, err := RunCell(refCell)
+			rep.Cells++
+			if err != nil {
+				rep.Divergences = append(rep.Divergences, Divergence{
+					Got:     refCell,
+					Details: []string{fmt.Sprintf("reference run failed: %v", err)},
+				})
+				continue
+			}
+			logf("ref  [%s] committed=%d trace=%016x", refCell, ref.FP.Committed, ref.FP.TraceHash)
+			for _, c := range m.cells(model, seed, spec) {
+				got, err := RunCell(c)
+				rep.Cells++
+				if err != nil {
+					rep.Divergences = append(rep.Divergences, Divergence{
+						Ref:     refCell,
+						Got:     c,
+						Details: []string{fmt.Sprintf("run failed: %v", err)},
+					})
+					logf("FAIL [%s] run error: %v", c, err)
+					continue
+				}
+				if got.Stats != nil {
+					rep.ForcedRollbacks += got.Stats.ForcedRollbacks
+				}
+				if diffs := compare(ref.FP, got.FP); len(diffs) > 0 {
+					rep.Divergences = append(rep.Divergences, Divergence{Ref: refCell, Got: c, Details: diffs})
+					logf("FAIL [%s] %s", c, strings.Join(diffs, "; "))
+				} else {
+					logf("ok   [%s] committed=%d", c, got.FP.Committed)
+				}
+			}
+		}
+	}
+	return rep
+}
+
+// stateHash digests every LP's final model state via its deterministic %+v
+// rendering, in LP order. It catches bugs the committed trace cannot see —
+// e.g. a Reverse handler that forgets to restore a counter no Forward
+// branch ever reads.
+func stateHash(h core.Host) uint64 {
+	const prime = 1099511628211
+	hash := uint64(14695981039346656037)
+	h.ForEachLP(func(lp *core.LP) {
+		s := fmt.Sprintf("%d=%+v;", lp.ID, lp.State)
+		for i := 0; i < len(s); i++ {
+			hash = (hash ^ uint64(s[i])) * prime
+		}
+	})
+	return hash
+}
+
+// instance is one built, instrumented engine ready to run.
+type instance struct {
+	host    core.Host
+	run     func() (*core.Stats, error)
+	rec     *trace.Recorder
+	numLPs  int
+	summary func() string
+	// describe renders an event's semantic payload for the trace hash. It
+	// must omit reverse-computation scratch (Saved* fields): scratch is
+	// consumed by Reverse, not restored, so after a rollback it carries
+	// residue of undone executions — legitimate differences between runs
+	// that committed identical histories.
+	describe trace.Describe
+}
+
+// instrument wraps every LP handler with the cell's mutation (if any) and
+// commit-time trace recording. Recording is unbounded so the trace hash
+// always covers the whole run.
+func (in *instance) instrument(c Cell) {
+	in.rec = trace.NewRecorder(0)
+	in.host.ForEachLP(func(lp *core.LP) {
+		h := lp.Handler
+		if c.Mutation == MutBrokenReverse {
+			h = brokenReverse{inner: h}
+		}
+		lp.Handler = trace.Wrap(h, in.rec, in.describe)
+	})
+}
+
+// ModelNames returns the models the harness knows, sorted.
+func ModelNames() []string {
+	names := make([]string, 0, len(models))
+	for name := range models {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

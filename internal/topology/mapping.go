@@ -45,6 +45,11 @@ func NewBlockMapping(side, numKPs, numPEs int) *BlockMapping {
 	if kpCols > side {
 		kpCols = side
 	}
+	// Clamping the tile grid to the side can shrink the KP count below the
+	// earlier numPEs clamp; re-clamp so no PE is left without a KP.
+	if numPEs > kpRows*kpCols {
+		numPEs = kpRows * kpCols
+	}
 	m := &BlockMapping{
 		side:   side,
 		kpRows: kpRows,

@@ -1,0 +1,115 @@
+package topology
+
+import "testing"
+
+// FuzzBlockMapping drives the LP→KP→PE placement with arbitrary grid
+// sides and KP/PE counts and checks the structural contract the kernel
+// builds on:
+//
+//   - every LP maps to exactly one in-range KP, and every KP to one
+//     in-range PE (a partition, no gaps);
+//   - each KP's territory is a contiguous rectangular tile of the grid;
+//   - the KP→PE assignment is a nondecreasing sequence of contiguous runs
+//     covering every PE;
+//   - the mapping is a pure function of its inputs: a second construction
+//     and repeated lookups give identical answers (round-trip stability).
+func FuzzBlockMapping(f *testing.F) {
+	f.Add(uint16(8), uint16(64), uint16(4))
+	f.Add(uint16(1), uint16(1), uint16(1))
+	f.Add(uint16(7), uint16(13), uint16(5))
+	f.Add(uint16(32), uint16(9999), uint16(999))
+	f.Fuzz(func(t *testing.T, sideRaw, kpRaw, peRaw uint16) {
+		side := int(sideRaw%48) + 1
+		kpsAsked := int(kpRaw%(uint16(side*side)+64)) + 1
+		pesAsked := int(peRaw%(uint16(kpsAsked)+8)) + 1
+		m := NewBlockMapping(side, kpsAsked, pesAsked)
+		numKPs, numPEs := m.NumKPs(), m.NumPEs()
+		if numKPs < 1 || numKPs > side*side {
+			t.Fatalf("NumKPs=%d out of range for side=%d", numKPs, side)
+		}
+		if numPEs < 1 || numPEs > numKPs {
+			t.Fatalf("NumPEs=%d out of range for %d KPs", numPEs, numKPs)
+		}
+
+		// Partition + tile shape: collect each KP's bounding box and count.
+		type box struct {
+			minR, maxR, minC, maxC, count int
+		}
+		boxes := make([]box, numKPs)
+		for i := range boxes {
+			boxes[i] = box{minR: side, minC: side, maxR: -1, maxC: -1}
+		}
+		for lp := 0; lp < side*side; lp++ {
+			kp := m.KPOfLP(lp)
+			if kp < 0 || kp >= numKPs {
+				t.Fatalf("KPOfLP(%d)=%d out of range [0,%d)", lp, kp, numKPs)
+			}
+			r, c := lp/side, lp%side
+			b := &boxes[kp]
+			if r < b.minR {
+				b.minR = r
+			}
+			if r > b.maxR {
+				b.maxR = r
+			}
+			if c < b.minC {
+				b.minC = c
+			}
+			if c > b.maxC {
+				b.maxC = c
+			}
+			b.count++
+		}
+		for kp, b := range boxes {
+			if b.count == 0 {
+				t.Fatalf("KP %d owns no LPs (side=%d kps=%d)", kp, side, numKPs)
+			}
+			if area := (b.maxR - b.minR + 1) * (b.maxC - b.minC + 1); area != b.count {
+				t.Fatalf("KP %d is not a solid rectangle: bbox area %d, %d LPs", kp, area, b.count)
+			}
+		}
+
+		// KP→PE: nondecreasing contiguous runs covering every PE.
+		prev := 0
+		seen := make([]bool, numPEs)
+		for kp := 0; kp < numKPs; kp++ {
+			pe := m.PEOfKP(kp)
+			if pe < 0 || pe >= numPEs {
+				t.Fatalf("PEOfKP(%d)=%d out of range [0,%d)", kp, pe, numPEs)
+			}
+			if pe < prev {
+				t.Fatalf("PEOfKP not nondecreasing: PEOfKP(%d)=%d after %d", kp, pe, prev)
+			}
+			if pe > prev+1 {
+				t.Fatalf("PEOfKP skips PEs: PEOfKP(%d)=%d after %d", kp, pe, prev)
+			}
+			prev = pe
+			seen[pe] = true
+		}
+		for pe, ok := range seen {
+			if !ok {
+				t.Fatalf("PE %d owns no KPs (kps=%d pes=%d)", pe, numKPs, numPEs)
+			}
+		}
+
+		// Round-trip stability: PEOfLP composes the two maps, and an
+		// independent construction agrees everywhere.
+		m2 := NewBlockMapping(side, kpsAsked, pesAsked)
+		if m2.NumKPs() != numKPs || m2.NumPEs() != numPEs {
+			t.Fatalf("reconstruction changed shape: (%d,%d) vs (%d,%d)",
+				m2.NumKPs(), m2.NumPEs(), numKPs, numPEs)
+		}
+		for lp := 0; lp < side*side; lp++ {
+			kp := m.KPOfLP(lp)
+			if got, want := m.PEOfLP(lp), m.PEOfKP(kp); got != want {
+				t.Fatalf("PEOfLP(%d)=%d but PEOfKP(KPOfLP)=%d", lp, got, want)
+			}
+			if m2.KPOfLP(lp) != kp || m2.PEOfLP(lp) != m.PEOfLP(lp) {
+				t.Fatalf("reconstruction disagrees at LP %d", lp)
+			}
+			if m.KPOfLP(lp) != kp {
+				t.Fatalf("repeated lookup disagrees at LP %d", lp)
+			}
+		}
+	})
+}

@@ -21,6 +21,7 @@ package trace
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"sync"
 
@@ -100,6 +101,73 @@ func (r *Recorder) Records() []Record {
 		return a.Src < b.Src
 	})
 	return out
+}
+
+// FNV-1a, inlined so per-LP hashing needs no allocation per record.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func fnvByte(h uint64, b byte) uint64 {
+	return (h ^ uint64(b)) * fnvPrime
+}
+
+func fnvUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = fnvByte(h, byte(v>>(8*uint(i))))
+	}
+	return h
+}
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = fnvByte(h, s[i])
+	}
+	return fnvByte(h, 0) // terminator so adjacent notes cannot alias
+}
+
+func fnvRecord(h uint64, rec Record) uint64 {
+	h = fnvUint64(h, math.Float64bits(float64(rec.T)))
+	h = fnvUint64(h, uint64(uint32(rec.Dst))<<32|uint64(uint32(rec.Src)))
+	return fnvString(h, rec.Note)
+}
+
+// Hash digests the sorted trace (times, endpoints and notes) into one
+// order-sensitive value: two runs committed the same event history iff
+// their hashes agree. The differential harness compares these across
+// engines. Call it only on unbounded recorders — a recorder that dropped
+// records hashes a prefix, and the method panics to keep such a hash from
+// ever being mistaken for a whole-run fingerprint.
+func (r *Recorder) Hash() uint64 {
+	if r.Dropped() > 0 {
+		panic("trace: Hash on a recorder that dropped records")
+	}
+	h := fnvOffset
+	for _, rec := range r.Records() {
+		h = fnvRecord(h, rec)
+	}
+	return h
+}
+
+// LPHashes digests each destination LP's committed event order separately,
+// so a divergence can be localised to the LPs whose histories differ rather
+// than reported as one global mismatch. Records for destinations outside
+// [0, numLPs) are ignored. Same caveat as Hash for bounded recorders.
+func (r *Recorder) LPHashes(numLPs int) []uint64 {
+	if r.Dropped() > 0 {
+		panic("trace: LPHashes on a recorder that dropped records")
+	}
+	hs := make([]uint64, numLPs)
+	for i := range hs {
+		hs[i] = fnvOffset
+	}
+	for _, rec := range r.Records() {
+		if rec.Dst >= 0 && int(rec.Dst) < numLPs {
+			hs[rec.Dst] = fnvRecord(hs[rec.Dst], rec)
+		}
+	}
+	return hs
 }
 
 // Dump writes the sorted trace, one event per line.

@@ -199,3 +199,80 @@ func TestDescribeCustom(t *testing.T) {
 		t.Fatalf("records = %+v", records)
 	}
 }
+
+func TestHashInsensitiveToArrivalOrder(t *testing.T) {
+	recs := []Record{
+		{T: 1.5, Dst: 0, Src: 1, Note: "a"},
+		{T: 0.5, Dst: 2, Src: 0, Note: "b"},
+		{T: 1.5, Dst: 1, Src: 0, Note: "c"},
+	}
+	fwd, rev := NewRecorder(0), NewRecorder(0)
+	for i := range recs {
+		fwd.add(recs[i])
+		rev.add(recs[len(recs)-1-i])
+	}
+	if fwd.Hash() != rev.Hash() {
+		t.Fatal("hash depends on commit arrival order; it must only depend on the sorted trace")
+	}
+}
+
+func TestHashSensitiveToContent(t *testing.T) {
+	base := Record{T: 1, Dst: 0, Src: 1, Note: "x"}
+	variants := []Record{
+		{T: 2, Dst: 0, Src: 1, Note: "x"},
+		{T: 1, Dst: 2, Src: 1, Note: "x"},
+		{T: 1, Dst: 0, Src: 3, Note: "x"},
+		{T: 1, Dst: 0, Src: 1, Note: "y"},
+	}
+	ref := NewRecorder(0)
+	ref.add(base)
+	for i, v := range variants {
+		r := NewRecorder(0)
+		r.add(v)
+		if r.Hash() == ref.Hash() {
+			t.Errorf("variant %d hashes equal to base: %+v", i, v)
+		}
+	}
+	empty := NewRecorder(0)
+	if empty.Hash() == ref.Hash() {
+		t.Error("empty trace hashes equal to non-empty")
+	}
+}
+
+func TestLPHashesLocaliseDivergence(t *testing.T) {
+	a, b := NewRecorder(0), NewRecorder(0)
+	shared := []Record{
+		{T: 1, Dst: 0, Src: 1, Note: "s"},
+		{T: 2, Dst: 2, Src: 0, Note: "s"},
+	}
+	for _, rec := range shared {
+		a.add(rec)
+		b.add(rec)
+	}
+	a.add(Record{T: 3, Dst: 1, Src: 0, Note: "only-a"})
+	b.add(Record{T: 3, Dst: 1, Src: 0, Note: "only-b"})
+	ha, hb := a.LPHashes(4), b.LPHashes(4)
+	for i := range ha {
+		if i == 1 && ha[i] == hb[i] {
+			t.Errorf("LP %d histories differ but hashes agree", i)
+		}
+		if i != 1 && ha[i] != hb[i] {
+			t.Errorf("LP %d histories agree but hashes differ", i)
+		}
+	}
+	if a.Hash() == b.Hash() {
+		t.Error("global hashes must differ too")
+	}
+}
+
+func TestHashPanicsAfterDrop(t *testing.T) {
+	r := NewRecorder(1)
+	r.add(Record{T: 1})
+	r.add(Record{T: 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Hash on a recorder with drops must panic")
+		}
+	}()
+	r.Hash()
+}
