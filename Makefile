@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench simcheck check figures figures-full examples clean
+.PHONY: all build test race cover bench bench-all simcheck check figures figures-full examples clean
 
 all: build test
 
@@ -27,7 +27,23 @@ check: build test race simcheck
 cover:
 	$(GO) test ./internal/... -cover
 
+# Figure benchmarks with allocation accounting, captured as a machine-
+# readable trajectory (BENCH_PR2.json embeds the committed baseline so
+# before/after travel together; format documented in EXPERIMENTS.md). The
+# check fails the target if the pooled event lifecycle regresses to more
+# than half the seed's allocations per run.
 bench:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x -benchmem . \
+	  | $(GO) run ./cmd/benchjson \
+	      -label "PR2 recycled event lifecycle" \
+	      -baseline BENCH_BASELINE.json \
+	      -check 'KernelPHOLD/pe4:allocs/op<=0.5*baseline' \
+	      -check 'KernelPHOLD/pe1:allocs/op<=0.5*baseline' \
+	      -out BENCH_PR2.json
+	@echo wrote BENCH_PR2.json
+
+# Every benchmark in every package, human-readable.
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate every report figure at quick scale (minutes).

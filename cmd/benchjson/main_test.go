@@ -1,0 +1,104 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkKernelPHOLD/pe1         	       1	1251215284 ns/op	    625741 events/run	86025568 B/op	 1955249 allocs/op
+BenchmarkKernelPHOLD/pe4-8       	       1	1084712432 ns/op	    625741 events/run	87828944 B/op	 1988225 allocs/op
+BenchmarkFig6Efficiency          	       1	 208644416 ns/op	         0.2104 speedup/PE	99836728 B/op	 1940808 allocs/op
+PASS
+ok  	repro	6.828s
+`
+
+func parseSample(t *testing.T) *File {
+	t.Helper()
+	f, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestParseBench(t *testing.T) {
+	f := parseSample(t)
+	if len(f.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3", len(f.Benchmarks))
+	}
+	if f.Context["cpu"] != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Errorf("cpu context = %q", f.Context["cpu"])
+	}
+
+	// The GOMAXPROCS suffix is stripped so names are stable across hosts.
+	pe4 := f.find("KernelPHOLD/pe4")
+	if pe4 == nil {
+		t.Fatal("KernelPHOLD/pe4 not found (suffix not stripped?)")
+	}
+	if pe4.NsPerOp != 1084712432 {
+		t.Errorf("ns/op = %g", pe4.NsPerOp)
+	}
+	if pe4.AllocsPerOp != 1988225 {
+		t.Errorf("allocs/op = %g", pe4.AllocsPerOp)
+	}
+	if pe4.BytesPerOp != 87828944 {
+		t.Errorf("B/op = %g", pe4.BytesPerOp)
+	}
+	if pe4.Metrics["events/run"] != 625741 {
+		t.Errorf("events/run = %g", pe4.Metrics["events/run"])
+	}
+
+	eff := f.find("Fig6Efficiency")
+	if eff == nil || eff.Metrics["speedup/PE"] != 0.2104 {
+		t.Errorf("Fig6Efficiency speedup/PE missing or wrong: %+v", eff)
+	}
+}
+
+func TestChecks(t *testing.T) {
+	f := parseSample(t)
+	// A baseline with double the allocations: the run halved them.
+	f.Baseline = &File{Benchmarks: []Result{
+		{Name: "KernelPHOLD/pe4", AllocsPerOp: 4000000},
+	}}
+
+	cases := []struct {
+		expr string
+		pass bool
+	}{
+		{"KernelPHOLD/pe4:allocs/op<=2000000", true},
+		{"KernelPHOLD/pe4:allocs/op<=1000000", false},
+		{"KernelPHOLD/pe4:events/run>=625741", true},
+		{"KernelPHOLD/pe4:events/run>=700000", false},
+		{"KernelPHOLD/pe4:allocs/op<=0.5*baseline", true},
+		{"KernelPHOLD/pe4:allocs/op<=0.4*baseline", false},
+		{"Fig6Efficiency:speedup/PE>=0.2", true},
+	}
+	for _, c := range cases {
+		chk, err := parseCheck(c.expr)
+		if err != nil {
+			t.Fatalf("%s: %v", c.expr, err)
+		}
+		msg := chk.eval(f)
+		if (msg == "") != c.pass {
+			t.Errorf("%s: pass=%v, msg=%q", c.expr, msg == "", msg)
+		}
+	}
+
+	// Relative bound without a baseline is an error, not a silent pass.
+	f.Baseline = nil
+	chk, err := parseCheck("KernelPHOLD/pe4:allocs/op<=0.5*baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chk.eval(f) == "" {
+		t.Error("relative check passed without a baseline")
+	}
+
+	if _, err := parseCheck("garbage"); err == nil {
+		t.Error("parseCheck accepted garbage")
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hotpotato"
+	"repro/internal/profiling"
 	"repro/internal/routing"
 	"repro/internal/traffic"
 )
@@ -40,7 +41,12 @@ func main() {
 		kernel     = flag.Bool("kernel", false, "also print kernel statistics")
 		progress   = flag.Bool("progress", false, "report GVT progress to stderr during long parallel runs")
 	)
+	prof := profiling.AddFlags(flag.CommandLine)
 	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal(err)
+	}
 
 	policy, err := routing.ByName(*policyName)
 	if err != nil {
@@ -110,9 +116,17 @@ func main() {
 
 	fmt.Printf("hot-potato routing: %dx%d %s, policy=%s, %d steps, seed=%d\n",
 		*n, *n, cfg.Topology, policy.Name(), *steps, *seed)
+	// The memory line prints before the network block: the CLI equality
+	// test compares the network statistics across engines, and the pool
+	// counters legitimately differ between them.
+	fmt.Printf("memory: %d events recycled, pool hit rate %.3f, %d payloads reused\n",
+		ks.EventsRecycled, ks.PoolHitRate, ks.PayloadsRecycled)
 	fmt.Print(totals)
 	if *kernel {
 		fmt.Print(ks)
+	}
+	if err := stopProf(); err != nil {
+		fatal(err)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/phold"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -29,7 +30,13 @@ func main() {
 		maxOpt     = flag.Float64("max-optimism", 0, "bound speculation to this far beyond GVT (0 = unlimited)")
 		sequential = flag.Bool("sequential", false, "run the sequential reference engine")
 	)
+	prof := profiling.AddFlags(flag.CommandLine)
 	flag.Parse()
+	stopProf, perr := prof.Start()
+	if perr != nil {
+		fmt.Fprintln(os.Stderr, "phold:", perr)
+		os.Exit(1)
+	}
 
 	cfg := phold.Config{
 		NumLPs:      *lps,
@@ -79,4 +86,8 @@ func main() {
 		*lps, *population, *remote, *end)
 	fmt.Printf("  jobs processed: %d\n", total)
 	fmt.Print(ks)
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "phold:", err)
+		os.Exit(1)
+	}
 }

@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/profiling"
 	"repro/internal/simcheck"
 )
 
@@ -38,7 +39,12 @@ func main() {
 		mutation = flag.String("mutation", "", "arm a seeded bug (self-test demo): broken-reverse or broken-priority")
 		verbose  = flag.Bool("v", false, "log every cell, not just failures")
 	)
+	prof := profiling.AddFlags(flag.CommandLine)
 	flag.Parse()
+	stopProf, perr := prof.Start()
+	if perr != nil {
+		fatal(perr)
+	}
 	if flag.NArg() > 0 {
 		fatal(fmt.Errorf("unexpected arguments: %v", flag.Args()))
 	}
@@ -100,6 +106,11 @@ func main() {
 	}
 	fmt.Printf("simcheck: %d cells, %d divergences, %d forced rollbacks injected\n",
 		rep.Cells, len(rep.Divergences), rep.ForcedRollbacks)
+	// Flush profiles before the explicit exit below — deferred calls would
+	// not run past os.Exit.
+	if err := stopProf(); err != nil {
+		fatal(err)
+	}
 	if !rep.OK() {
 		os.Exit(1)
 	}

@@ -52,13 +52,17 @@ type Conservative struct {
 }
 
 // consPE is one conservative worker: a pending queue and a mailbox, no
-// rollback machinery.
+// rollback machinery. Its event pool follows the same ownership rule as the
+// optimistic kernel's: allocation on the sender's pool, free on the
+// destination's — and within a window the destination PE is the only one
+// touching the event, so no lock is needed.
 type consPE struct {
 	id        int
 	sim       *Conservative
 	pending   eventq.Queue[*Event]
 	inbox     mailbox
 	batch     []mail
+	pool      eventPool
 	processed int64
 }
 
@@ -132,9 +136,12 @@ func (c *Conservative) peOf(dst LPID) *consPE {
 }
 
 // scheduleNew implements engine: route to the owning PE, enforcing the
-// declared lookahead.
-func (pe *consPE) scheduleNew(from *LP, ev *Event) {
+// declared lookahead. The sender is recovered from the event's src — Send
+// is only legal during Forward, so the source LP's current event is the
+// one that produced ev.
+func (pe *consPE) scheduleNew(ev *Event) {
 	c := pe.sim
+	from := c.lps[ev.src]
 	// Allow a ULP of slack: recvTime is now+delay after rounding, so an
 	// exactly-lookahead delay can land a hair below it.
 	if delay := ev.recvTime - from.cur.recvTime; delay < c.lookahead-c.lookahead*1e-12 {
@@ -149,6 +156,9 @@ func (pe *consPE) scheduleNew(from *LP, ev *Event) {
 	}
 	dst.inbox.post(mail{ev: ev})
 }
+
+// alloc implements engine: events come from this worker's free list.
+func (pe *consPE) alloc() *Event { return pe.pool.get() }
 
 // lookup implements engine.
 func (pe *consPE) lookup(id LPID) *LP {
@@ -205,6 +215,12 @@ func (c *Conservative) Run() (*Stats, error) {
 		NumKPs:    len(c.pes),
 		Wall:      wall,
 	}
+	for _, pe := range c.pes {
+		var ps PEStats
+		pe.pool.addTo(&ps)
+		st.addPool(ps)
+	}
+	st.finishPools()
 	if secs := wall.Seconds(); secs > 0 {
 		st.EventRate = float64(st.Committed) / secs
 	}
@@ -287,9 +303,10 @@ func (pe *consPE) run() (err error) {
 			}
 			lp.cur = nil
 			lp.mode = modeIdle
+			// Committed at execution, like the sequential engine: the
+			// event is dead and returns to this worker's pool.
 			ev.state = stateCommitted
-			ev.sent = nil
-			ev.Data = nil
+			pe.pool.release(lp, ev)
 			pe.processed++
 		}
 		if err := c.bar.await(); err != nil {

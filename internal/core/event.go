@@ -56,6 +56,10 @@ const (
 	stateProcessed
 	stateCanceled
 	stateCommitted
+	// stateFree marks an event sitting in (or just released to) an event
+	// pool. A stateFree event reachable from any queue, KP history or
+	// mailbox is a lifecycle bug; paranoid mode hunts for exactly that.
+	stateFree
 )
 
 // Event is one timestamped message between LPs. The kernel owns the
@@ -79,6 +83,7 @@ type Event struct {
 	// Kernel bookkeeping, touched only by the owning (destination) PE
 	// after the event has been handed off.
 	state       eventState
+	gen         uint32   // incarnation counter, bumped on every pool free
 	sent        []*Event // events produced while processing this event
 	rngDraws    uint32   // random draws Forward consumed
 	prevSendSeq uint64   // sender-side sequence before Forward, for reversal

@@ -62,6 +62,8 @@ func (pe *PE) checkInvariants(gvt Time) error {
 			}
 		case stateCanceled:
 			// Awaiting lazy removal; fine.
+		case stateFree:
+			err = fmt.Errorf("core: invariant: use after free: pooled event still queued (%v)", ev)
 		default:
 			err = fmt.Errorf("core: invariant: queued event in state %d (%v)", ev.state, ev)
 		}

@@ -79,14 +79,17 @@ func (kp *KP) tail() *Event {
 }
 
 // fossilCollect commits and releases every processed event strictly below
-// gvt, calling Commit handlers in processing order.
-func (kp *KP) fossilCollect(gvt Time, eng engine) {
+// gvt, calling Commit handlers in processing order. A committed event can
+// never be referenced again — its KP keeps only the value-copied lastKey,
+// and a cancellation for it would be a GVT violation — so it returns to
+// the owning PE's pool the moment its Commit handler finishes.
+func (kp *KP) fossilCollect(gvt Time, pe *PE) {
 	for kp.head < len(kp.processed) {
 		ev := kp.processed[kp.head]
 		if ev.recvTime >= gvt {
 			break
 		}
-		lp := eng.lookup(ev.dst)
+		lp := pe.sim.lps[ev.dst]
 		if committer, ok := lp.Handler.(Committer); ok {
 			lp.mode = modeCommit
 			lp.cur = ev
@@ -95,11 +98,10 @@ func (kp *KP) fossilCollect(gvt Time, eng engine) {
 			lp.mode = modeIdle
 		}
 		ev.state = stateCommitted
-		ev.sent = nil
-		ev.Data = nil
 		kp.processed[kp.head] = nil
 		kp.head++
 		kp.committed++
+		pe.free(ev)
 	}
 	// Compact once the dead prefix dominates, to keep memory bounded.
 	if kp.head > 64 && kp.head > len(kp.processed)/2 {

@@ -54,12 +54,18 @@ type LP struct {
 	eng     engine
 }
 
-// engine abstracts the parallel and sequential executors behind LP.Send.
+// engine abstracts the three executors (parallel, sequential,
+// conservative) behind LP.Send.
 type engine interface {
-	// scheduleNew routes a freshly created event to its destination.
-	scheduleNew(from *LP, ev *Event)
+	// scheduleNew routes a freshly created event to its destination. The
+	// event carries its full identity (src, seq, recvTime), so the engine
+	// needs no separate sender argument.
+	scheduleNew(ev *Event)
 	// lookup returns the LP with the given ID.
 	lookup(id LPID) *LP
+	// alloc draws a blank event from the engine's free list (allocating
+	// only on pool miss); the caller initialises identity and payload.
+	alloc() *Event
 }
 
 // Now returns the receive time of the event being handled. It is valid in
@@ -109,6 +115,10 @@ func (lp *LP) checkDraw() {
 // same virtual time as their cause, and Time Warp's correctness argument
 // (and the report's synchronous network model) requires causes to strictly
 // precede effects. Only legal during Forward.
+//
+// The returned event is kernel-owned and recycled through a free list once
+// it is committed or cancelled; do not retain the pointer beyond the
+// current handler call.
 func (lp *LP) Send(dst LPID, delay Time, data any) *Event {
 	if lp.mode != modeForward {
 		panic("core: Send outside Forward")
@@ -119,16 +129,15 @@ func (lp *LP) Send(dst LPID, delay Time, data any) *Event {
 	if target := lp.eng.lookup(dst); target == nil {
 		panic("core: Send to unknown LP")
 	}
-	ev := &Event{
-		recvTime: lp.cur.recvTime + delay,
-		dst:      dst,
-		src:      lp.ID,
-		seq:      lp.sendSeq,
-		Data:     data,
-	}
+	ev := lp.eng.alloc()
+	ev.recvTime = lp.cur.recvTime + delay
+	ev.dst = dst
+	ev.src = lp.ID
+	ev.seq = lp.sendSeq
+	ev.Data = data
 	lp.sendSeq++
 	lp.cur.sent = append(lp.cur.sent, ev)
-	lp.eng.scheduleNew(lp, ev)
+	lp.eng.scheduleNew(ev)
 	return ev
 }
 

@@ -55,6 +55,7 @@ type PE struct {
 	pending eventq.Queue[*Event]
 	inbox   mailbox
 	batch   []mail // recycled drain buffer
+	pool    eventPool
 	kps     []*KP
 
 	sinceGVT      int
@@ -111,10 +112,24 @@ func (pe *PE) drainMailbox() {
 	pe.batch = msgs
 }
 
+// alloc implements engine: events come from this PE's free list.
+func (pe *PE) alloc() *Event { return pe.pool.get() }
+
+// free returns a dead event (committed or cancelled-and-discarded) to this
+// PE's pool, recycling its payload through the model if it opted in. Only
+// the PE owning the event's destination may call it — which is exactly the
+// PE whose goroutine proves the event dead.
+func (pe *PE) free(ev *Event) {
+	pe.pool.release(pe.sim.lps[ev.dst], ev)
+}
+
 // insert adds an event to this PE's pending queue. If the event is in the
 // past of its KP, the KP is first rolled back to just before it (a primary
 // rollback).
 func (pe *PE) insert(ev *Event) {
+	if pe.sim.cfg.CheckInvariants && ev.state == stateFree {
+		panic("core: use after free: inserting pooled event " + ev.String())
+	}
 	kp := pe.sim.lps[ev.dst].kp
 	if kp.hasLast && ev.beforeKey(kp.lastKey) {
 		n := pe.rollback(kp, ev.key())
@@ -151,6 +166,8 @@ func (pe *PE) cancelLocal(ev *Event) {
 		panic("core: event cancelled twice")
 	case stateCommitted:
 		panic("core: cancellation for a committed event (GVT violation)")
+	case stateFree:
+		panic("core: use after free: cancellation for pooled event " + ev.String())
 	default:
 		panic("core: cancellation for an unscheduled event")
 	}
@@ -212,7 +229,7 @@ func (pe *PE) cancel(ev *Event) {
 // scheduleNew implements engine for the parallel kernel: a freshly sent
 // event goes straight into the local queue when its destination is local,
 // or through the destination PE's mailbox otherwise.
-func (pe *PE) scheduleNew(from *LP, ev *Event) {
+func (pe *PE) scheduleNew(ev *Event) {
 	dstPE := pe.sim.lps[ev.dst].kp.pe
 	if dstPE == pe {
 		pe.insert(ev)
@@ -223,7 +240,10 @@ func (pe *PE) scheduleNew(from *LP, ev *Event) {
 }
 
 // nextLive pops cancelled events off the top of the pending queue and
-// returns the first live one without removing it.
+// returns the first live one without removing it. A cancelled event popped
+// here is dead — it was either never executed or already rolled back, and
+// the anti-message that killed it has been consumed — so it returns to
+// this (its destination's) PE's pool.
 func (pe *PE) nextLive() (*Event, bool) {
 	for {
 		ev, ok := pe.pending.Min()
@@ -232,6 +252,7 @@ func (pe *PE) nextLive() (*Event, bool) {
 		}
 		if ev.state == stateCanceled {
 			pe.pending.Pop()
+			pe.free(ev)
 			continue
 		}
 		return ev, true
@@ -240,6 +261,9 @@ func (pe *PE) nextLive() (*Event, bool) {
 
 // execute runs one event forward.
 func (pe *PE) execute(ev *Event) {
+	if pe.sim.cfg.CheckInvariants && ev.state == stateFree {
+		panic("core: use after free: executing pooled event " + ev.String())
+	}
 	lp := pe.sim.lps[ev.dst]
 	kp := lp.kp
 	ev.state = stateProcessed

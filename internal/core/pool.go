@@ -1,0 +1,123 @@
+package core
+
+// This file implements the recycled event lifecycle — the analogue of
+// ROSS's preallocated tw_event free lists, which are the reason its
+// steady-state event loop never touches the allocator. Every engine owns
+// one or more eventPools: LP.Send draws events from the pool of the
+// engine executing the sender, and dead events are returned at the two
+// points the kernel proves they can never be referenced again:
+//
+//   - fossil collection: a committed event is irrevocably in the past;
+//   - cancelled-event discard: an anti-messaged event popped off the
+//     pending queue was either never executed or already rolled back.
+//
+// Ownership rule: an event is freed only by the goroutine that owns it at
+// death, which is always the PE of the event's *destination* LP (events
+// migrate between pools — allocated from the sender's pool, freed into the
+// receiver's — so no lock is ever needed). See DESIGN.md "Memory
+// management" for the full argument.
+//
+// Every free stamps the event with a new generation and the stateFree
+// marker, so a use-after-free — the classic free-list corruption — is
+// detectable: paranoid mode (Config.CheckInvariants) panics the moment a
+// freed event is inserted, executed or found in any queue.
+
+// Recycler is optionally implemented by model handlers that want their
+// event payloads back once the kernel proves the event dead, so a typed
+// payload pool (e.g. a sync.Pool of message structs) can stop the per-send
+// allocation of the Data box. Recycle runs on the goroutine of the event's
+// destination PE, outside any handler phase: it must only stash the
+// payload for reuse, never touch LP state. After Recycle returns, the
+// kernel drops its reference; the model must fully re-initialise a
+// recycled payload before sending it again.
+type Recycler interface {
+	Recycle(data any)
+}
+
+// eventPool is a LIFO free list of dead events, owned by exactly one
+// goroutine (its PE's, or the engine's for the sequential executor), so
+// get and put need no synchronisation. LIFO maximises cache warmth: the
+// most recently dead event is the next one reissued.
+type eventPool struct {
+	free []*Event
+
+	// Counters for Stats. live tracks this pool's net outstanding events
+	// (gets minus puts); because events allocated on one PE may die on
+	// another, a single pool's live count is approximate — it can even go
+	// negative on a PE that frees more than it allocates — but the sum
+	// over all pools is exact net allocation, and livePeak bounds each
+	// pool's contribution to the optimistic memory footprint.
+	hits     int64 // gets served from the free list
+	misses   int64 // gets that had to allocate
+	recycled int64 // puts (events returned to the pool)
+	payloads int64 // payloads handed back to a model's Recycler
+	live     int64
+	livePeak int64
+}
+
+// get returns a ready-to-initialise event: recycled when possible,
+// freshly allocated otherwise. All kernel bookkeeping fields are clean
+// (put scrubbed them); the caller sets identity, payload and time.
+func (p *eventPool) get() *Event {
+	p.live++
+	if p.live > p.livePeak {
+		p.livePeak = p.live
+	}
+	if n := len(p.free); n > 0 {
+		ev := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.hits++
+		ev.state = stateInit
+		return ev
+	}
+	p.misses++
+	return &Event{}
+}
+
+// put returns a dead event to the free list. The event's generation is
+// bumped so stale references are distinguishable from the recycled
+// incarnation, and its bookkeeping is scrubbed — except the sent slice's
+// backing array, which is kept (cleared) so re-sends after recycling do
+// not re-grow it from nil.
+func (p *eventPool) put(ev *Event) {
+	if ev.state == stateFree {
+		panic("core: event freed twice: " + ev.String())
+	}
+	p.live--
+	p.recycled++
+	ev.gen++
+	ev.state = stateFree
+	ev.Data = nil
+	for i := range ev.sent {
+		ev.sent[i] = nil
+	}
+	ev.sent = ev.sent[:0]
+	ev.Bits = 0
+	ev.rngDraws = 0
+	ev.prevSendSeq = 0
+	p.free = append(p.free, ev)
+}
+
+// release frees one dead event into pool p, first offering its payload
+// back to the destination LP's handler if the model opted into payload
+// recycling. lp is the event's destination LP (the pool owner's).
+func (p *eventPool) release(lp *LP, ev *Event) {
+	if ev.Data != nil {
+		if r, ok := lp.Handler.(Recycler); ok {
+			r.Recycle(ev.Data)
+			p.payloads++
+		}
+		ev.Data = nil
+	}
+	p.put(ev)
+}
+
+// addTo folds this pool's counters into a PEStats record.
+func (p *eventPool) addTo(ps *PEStats) {
+	ps.PoolHits += p.hits
+	ps.PoolMisses += p.misses
+	ps.EventsRecycled += p.recycled
+	ps.PayloadsRecycled += p.payloads
+	ps.PoolLivePeak += p.livePeak
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// TestEventPoolReuse is the freelist contract: LIFO reuse of the same
+// backing Event, a generation bump per free, scrubbed bookkeeping, and a
+// sent slice whose capacity survives recycling.
+func TestEventPoolReuse(t *testing.T) {
+	var p eventPool
+	ev := p.get()
+	if p.misses != 1 || p.hits != 0 {
+		t.Fatalf("first get: hits=%d misses=%d", p.hits, p.misses)
+	}
+	ev.state = statePending
+	ev.Data = "payload"
+	ev.sent = append(ev.sent, &Event{}, &Event{})
+	gen := ev.gen
+	cap0 := cap(ev.sent)
+
+	p.put(ev)
+	if ev.state != stateFree || ev.gen != gen+1 {
+		t.Fatalf("after put: state=%d gen=%d (was %d)", ev.state, ev.gen, gen)
+	}
+	if ev.Data != nil || len(ev.sent) != 0 {
+		t.Fatalf("put did not scrub: Data=%v sent=%v", ev.Data, ev.sent)
+	}
+
+	ev2 := p.get()
+	if ev2 != ev {
+		t.Fatal("LIFO pool did not reuse the freed event")
+	}
+	if ev2.state != stateInit {
+		t.Fatalf("recycled event state = %d, want stateInit", ev2.state)
+	}
+	if cap(ev2.sent) != cap0 {
+		t.Fatalf("sent capacity lost across recycle: %d -> %d", cap0, cap(ev2.sent))
+	}
+	if p.hits != 1 || p.misses != 1 || p.recycled != 1 {
+		t.Fatalf("counters: hits=%d misses=%d recycled=%d", p.hits, p.misses, p.recycled)
+	}
+	if p.live != 1 || p.livePeak != 1 {
+		t.Fatalf("live accounting: live=%d peak=%d", p.live, p.livePeak)
+	}
+}
+
+// TestEventPoolDoubleFreePanics: freeing the same incarnation twice is the
+// classic freelist corruption and must die immediately.
+func TestEventPoolDoubleFreePanics(t *testing.T) {
+	var p eventPool
+	ev := p.get()
+	ev.state = statePending
+	p.put(ev)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	p.put(ev)
+}
+
+// recycleCounter is a handler whose Recycle calls are counted; the payload
+// is handed back on the freeing PE's goroutine, hence the atomic.
+type recycleCounter struct {
+	stressModel
+	recycles atomic.Int64
+}
+
+func (r *recycleCounter) Recycle(data any) {
+	if data == nil {
+		panic("Recycle called with nil payload")
+	}
+	r.recycles.Add(1)
+}
+
+// TestUseAfterFreeGuards covers the paranoid-mode tripwires: a pooled
+// (stateFree) event must be rejected by insert, execute, cancellation and
+// the GVT-time queue scan.
+func TestUseAfterFreeGuards(t *testing.T) {
+	s, err := New(Config{NumLPs: 2, NumPEs: 1, NumKPs: 1, EndTime: 10, CheckInvariants: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe := s.pes[0]
+	free := func() *Event {
+		return &Event{recvTime: 1, dst: 0, src: 0, state: stateFree}
+	}
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s accepted a stateFree event", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("insert", func() { pe.insert(free()) })
+	mustPanic("execute", func() { pe.execute(free()) })
+	mustPanic("cancelLocal", func() { pe.cancelLocal(free()) })
+
+	// A freed event that somehow stays queued is caught by the invariant
+	// scan even when no operation touches it.
+	ev := free()
+	pe.pending.Push(ev)
+	if err := pe.checkInvariants(0); err == nil {
+		t.Fatal("invariant scan missed a pooled event in the pending queue")
+	}
+}
+
+// TestPoolStatsAcrossEngines: all three executors recycle events and
+// report coherent pool counters.
+func TestPoolStatsAcrossEngines(t *testing.T) {
+	base := Config{NumLPs: 32, EndTime: 30, Seed: 5}
+	ttl := 12
+
+	check := func(name string, st *Stats) {
+		t.Helper()
+		if st.EventsRecycled == 0 {
+			t.Errorf("%s: no events recycled", name)
+		}
+		if st.PoolHits == 0 {
+			t.Errorf("%s: pool never reissued an event (hits=0)", name)
+		}
+		total := st.PoolHits + st.PoolMisses
+		if total == 0 || st.PoolHitRate != float64(st.PoolHits)/float64(total) {
+			t.Errorf("%s: hit rate %g inconsistent with hits=%d misses=%d",
+				name, st.PoolHitRate, st.PoolHits, st.PoolMisses)
+		}
+		if st.PoolLivePeak <= 0 {
+			t.Errorf("%s: PoolLivePeak = %d", name, st.PoolLivePeak)
+		}
+	}
+
+	_, seqStats := runStressSequential(t, base, ttl)
+	check("sequential", seqStats)
+
+	cfg := base
+	cfg.NumPEs = 4
+	cfg.NumKPs = 8
+	cfg.CheckInvariants = true
+	_, parStats := runStressParallel(t, cfg, ttl)
+	check("parallel", parStats)
+
+	// Conservative engine, via the fixed-lookahead variant of the stress
+	// model (delays are already >= 0.001).
+	c, err := NewConservative(Config{NumLPs: 32, NumPEs: 4, EndTime: 30, Seed: 5}, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := stressModel{numLPs: 32}
+	c.ForEachLP(func(lp *LP) {
+		lp.Handler = model
+		lp.State = &stressState{}
+	})
+	for i := 0; i < 32; i++ {
+		c.Schedule(LPID(i), Time(0.001*float64(i+1)), &stressMsg{TTL: ttl})
+	}
+	consStats, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("conservative", consStats)
+}
+
+// TestPayloadRecycling: a handler implementing Recycler gets every non-nil
+// payload back exactly once, and the kernel reports the count.
+func TestPayloadRecycling(t *testing.T) {
+	run := func(name string, parallel bool) {
+		model := &recycleCounter{stressModel: stressModel{numLPs: 16}}
+		cfg := Config{NumLPs: 16, EndTime: 20, Seed: 3}
+		var st *Stats
+		if parallel {
+			cfg.NumPEs = 2
+			cfg.NumKPs = 4
+			cfg.CheckInvariants = true
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.ForEachLP(func(lp *LP) { lp.Handler = model; lp.State = &stressState{} })
+			for i := 0; i < 16; i++ {
+				s.Schedule(LPID(i), Time(0.001*float64(i+1)), &stressMsg{TTL: 8})
+			}
+			st, err = s.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			q, err := NewSequential(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q.ForEachLP(func(lp *LP) { lp.Handler = model; lp.State = &stressState{} })
+			for i := 0; i < 16; i++ {
+				q.Schedule(LPID(i), Time(0.001*float64(i+1)), &stressMsg{TTL: 8})
+			}
+			st, err = q.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := model.recycles.Load()
+		if got == 0 {
+			t.Errorf("%s: Recycle never called", name)
+		}
+		if st.PayloadsRecycled != got {
+			t.Errorf("%s: stats report %d payloads recycled, handler saw %d",
+				name, st.PayloadsRecycled, got)
+		}
+	}
+	run("sequential", false)
+	run("parallel", true)
+}
+
+// TestCancellationRacesRollbackAcrossPEs is the pooling regression test for
+// the nastiest lifecycle interleaving: anti-messages crossing PEs while the
+// destination is itself rolling back under injected faults, with mailbox
+// delivery order shuffled. Every cancelled event is freed into the
+// destination pool; if a cancellation could ever chase an already-recycled
+// event, paranoid mode panics and the committed trajectory diverges from
+// the sequential reference.
+func TestCancellationRacesRollbackAcrossPEs(t *testing.T) {
+	base := Config{NumLPs: 64, EndTime: 40, Seed: 17}
+	want, _ := runStressSequential(t, base, 16)
+
+	cfg := base
+	cfg.NumPEs = 4
+	cfg.NumKPs = 16
+	cfg.BatchSize = 4
+	cfg.GVTInterval = 2
+	cfg.CheckInvariants = true
+	cfg.Faults = &Faults{
+		Seed: 23, RollbackEvery: 2, RollbackDepth: 6,
+		ShuffleMail: true, GVTDelay: 2,
+	}
+	got, st := runStressParallel(t, cfg, 16)
+	if !reflect.DeepEqual(got, want) {
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("LP %d diverged with pooling under cancellation/rollback races: got %+v want %+v",
+					i, got[i], want[i])
+			}
+		}
+	}
+	if st.RolledBackEvents == 0 || st.MailSent == 0 {
+		t.Fatalf("test did not exercise the race: rolledBack=%d mailSent=%d",
+			st.RolledBackEvents, st.MailSent)
+	}
+	if st.EventsRecycled == 0 {
+		t.Fatal("no events recycled under rollback stress")
+	}
+}

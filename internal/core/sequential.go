@@ -20,6 +20,7 @@ type Sequential struct {
 	cfg     Config
 	lps     []*LP
 	pending eventq.Queue[*Event]
+	pool    eventPool
 	bootSeq uint64
 	ran     bool
 
@@ -85,10 +86,13 @@ func (q *Sequential) Schedule(dst LPID, t Time, data any) {
 }
 
 // scheduleNew implements engine: new events go straight into the queue.
-func (q *Sequential) scheduleNew(_ *LP, ev *Event) {
+func (q *Sequential) scheduleNew(ev *Event) {
 	ev.state = statePending
 	q.pending.Push(ev)
 }
+
+// alloc implements engine: events come from the executor's free list.
+func (q *Sequential) alloc() *Event { return q.pool.get() }
 
 // lookup implements engine.
 func (q *Sequential) lookup(id LPID) *LP {
@@ -131,9 +135,10 @@ func (q *Sequential) Run() (*Stats, error) {
 		}
 		lp.cur = nil
 		lp.mode = modeIdle
+		// Sequentially, an executed event is committed and therefore dead;
+		// it goes straight back to the pool for the next Send.
 		ev.state = stateCommitted
-		ev.sent = nil
-		ev.Data = nil
+		q.pool.release(lp, ev)
 		q.processed++
 	}
 	wall := time.Since(start)
@@ -144,6 +149,10 @@ func (q *Sequential) Run() (*Stats, error) {
 		NumKPs:    1,
 		Wall:      wall,
 	}
+	var ps PEStats
+	q.pool.addTo(&ps)
+	st.addPool(ps)
+	st.finishPools()
 	if secs := wall.Seconds(); secs > 0 {
 		st.EventRate = float64(st.Committed) / secs
 	}

@@ -20,6 +20,18 @@ type PEStats struct {
 	MailSent        int64
 	MailReceived    int64
 	Busy            time.Duration
+
+	// Event-pool counters (see pool.go). PoolHits are Sends served from
+	// the free list, PoolMisses the ones that had to allocate;
+	// EventsRecycled counts events returned to this PE's pool (which may
+	// have been allocated on another PE — events migrate between pools).
+	PoolHits         int64
+	PoolMisses       int64
+	EventsRecycled   int64
+	PayloadsRecycled int64
+	// PoolLivePeak is this pool's high-water mark of net outstanding
+	// events; summed over PEs it bounds the event working set.
+	PoolLivePeak int64
 }
 
 // KPStats are per-kernel-process counters — the rollback-locality data
@@ -59,8 +71,36 @@ type Stats struct {
 	// PeakLiveEvents sums the per-KP high-water marks: the optimistic
 	// memory footprint in events.
 	PeakLiveEvents int
-	PEs            []PEStats
-	KPs            []KPStats
+	// Event-pool totals across all pools: allocations avoided (PoolHits),
+	// allocations performed (PoolMisses), events and payloads recycled,
+	// and the summed per-pool live high-water mark. PoolHitRate is
+	// PoolHits/(PoolHits+PoolMisses) — at steady state it approaches 1 and
+	// the event loop stops touching the allocator.
+	PoolHits         int64
+	PoolMisses       int64
+	EventsRecycled   int64
+	PayloadsRecycled int64
+	PoolLivePeak     int64
+	PoolHitRate      float64
+	PEs              []PEStats
+	KPs              []KPStats
+}
+
+// addPool folds one pool's counters (carried in a PEStats record) into the
+// run-level totals.
+func (st *Stats) addPool(ps PEStats) {
+	st.PoolHits += ps.PoolHits
+	st.PoolMisses += ps.PoolMisses
+	st.EventsRecycled += ps.EventsRecycled
+	st.PayloadsRecycled += ps.PayloadsRecycled
+	st.PoolLivePeak += ps.PoolLivePeak
+}
+
+// finishPools derives the hit rate once every pool has been folded in.
+func (st *Stats) finishPools() {
+	if total := st.PoolHits + st.PoolMisses; total > 0 {
+		st.PoolHitRate = float64(st.PoolHits) / float64(total)
+	}
 }
 
 func (s *Simulator) collectStats(wall time.Duration) *Stats {
@@ -83,6 +123,8 @@ func (s *Simulator) collectStats(wall time.Duration) *Stats {
 			MailReceived:       pe.mailReceived,
 			Busy:               pe.busy,
 		}
+		pe.pool.addTo(&ps)
+		st.addPool(ps)
 		st.PEs = append(st.PEs, ps)
 		st.Processed += ps.Processed
 		st.Committed += ps.Committed
@@ -105,6 +147,7 @@ func (s *Simulator) collectStats(wall time.Duration) *Stats {
 		})
 		st.PeakLiveEvents += kp.peakLive
 	}
+	st.finishPools()
 	if secs := wall.Seconds(); secs > 0 {
 		st.EventRate = float64(st.Committed) / secs
 	}
@@ -129,6 +172,11 @@ func (st *Stats) String() string {
 	fmt.Fprintf(&b, "  remote messages:    %d sent, %d received\n", st.MailSent, st.MailReceived)
 	fmt.Fprintf(&b, "  GVT rounds:         %d\n", st.GVTRounds)
 	fmt.Fprintf(&b, "  peak live events:   %d\n", st.PeakLiveEvents)
+	fmt.Fprintf(&b, "  events recycled:    %d (pool hit rate %.3f, %d allocs avoided)\n",
+		st.EventsRecycled, st.PoolHitRate, st.PoolHits)
+	if st.PayloadsRecycled > 0 {
+		fmt.Fprintf(&b, "  payloads recycled:  %d\n", st.PayloadsRecycled)
+	}
 	fmt.Fprintf(&b, "  event rate:         %.0f events/s\n", st.EventRate)
 	fmt.Fprintf(&b, "  efficiency:         %.3f committed/processed\n", st.Efficiency)
 	return b.String()

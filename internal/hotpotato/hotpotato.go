@@ -34,6 +34,7 @@ package hotpotato
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/rng"
@@ -180,6 +181,32 @@ type Model struct {
 	net     topology.Network
 	size    int
 	maxDist int
+
+	// msgPool recycles Msg payloads through the kernel's event lifecycle
+	// (core.Recycler). It must be a sync.Pool rather than a plain free
+	// list: the Model is shared by every LP, and Recycle runs on whichever
+	// PE goroutine proves an event dead while other PEs are drawing
+	// messages concurrently.
+	msgPool sync.Pool
+}
+
+// newMsg returns a message initialised to v, reusing a recycled Msg when
+// one is available.
+func (m *Model) newMsg(v Msg) *Msg {
+	nm, ok := m.msgPool.Get().(*Msg)
+	if !ok {
+		nm = new(Msg)
+	}
+	*nm = v
+	return nm
+}
+
+// Recycle implements core.Recycler: the kernel hands back each event's
+// payload once the event is committed or cancelled, and the model reissues
+// it on a later send. Msg holds no pointers, so recycling also relieves
+// the garbage collector of scanning dead payloads.
+func (m *Model) Recycle(data any) {
+	m.msgPool.Put(data.(*Msg))
 }
 
 // Host abstracts the two kernel engines (core.Simulator and
@@ -332,15 +359,15 @@ func (m *Model) install(h Host) {
 				Born:   arrival,
 				Dist:   int32(m.net.Dist(id, int(dst))),
 			}
-			h.Schedule(core.LPID(id), arrival, &Msg{Kind: KindArrive, P: pkt})
+			h.Schedule(core.LPID(id), arrival, m.newMsg(Msg{Kind: KindArrive, P: pkt}))
 		}
 	}
 	h.ForEachLP(func(lp *core.LP) {
 		if lp.State.(*Router).isInjector {
-			h.Schedule(lp.ID, injectAt, &Msg{Kind: KindInject})
+			h.Schedule(lp.ID, injectAt, m.newMsg(Msg{Kind: KindInject}))
 		}
 		if m.cfg.Heartbeat {
-			h.Schedule(lp.ID, heartbeatAt, &Msg{Kind: KindHeartbeat})
+			h.Schedule(lp.ID, heartbeatAt, m.newMsg(Msg{Kind: KindHeartbeat}))
 		}
 	})
 }

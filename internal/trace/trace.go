@@ -195,12 +195,30 @@ type wrapped struct {
 }
 
 // Wrap returns a handler that behaves exactly like inner and additionally
-// records every committed event. describe may be nil (DescribeData).
+// records every committed event. describe may be nil (DescribeData). If the
+// inner handler recycles payloads (core.Recycler), the wrapper forwards
+// Recycle so tracing does not silently disable the payload pool; handlers
+// without one get a wrapper that does not advertise the interface.
 func Wrap(inner core.Handler, rec *Recorder, describe Describe) core.Handler {
 	if describe == nil {
 		describe = DescribeData
 	}
-	return &wrapped{inner: inner, rec: rec, describe: describe}
+	w := &wrapped{inner: inner, rec: rec, describe: describe}
+	if _, ok := inner.(core.Recycler); ok {
+		return &recyclingWrapped{wrapped: *w}
+	}
+	return w
+}
+
+// recyclingWrapped is the Wrap variant for inner handlers that implement
+// core.Recycler.
+type recyclingWrapped struct {
+	wrapped
+}
+
+// Recycle implements core.Recycler by forwarding to the inner handler.
+func (w *recyclingWrapped) Recycle(data any) {
+	w.inner.(core.Recycler).Recycle(data)
 }
 
 // Forward implements core.Handler.
