@@ -28,19 +28,23 @@ cover:
 	$(GO) test ./internal/... -cover
 
 # Figure benchmarks with allocation accounting, captured as a machine-
-# readable trajectory (BENCH_PR2.json embeds the committed baseline so
-# before/after travel together; format documented in EXPERIMENTS.md). The
-# check fails the target if the pooled event lifecycle regresses to more
-# than half the seed's allocations per run.
+# readable trajectory (BENCH_PR3.json embeds the committed pre-PR3 baseline
+# so before/after travel together; format documented in EXPERIMENTS.md).
+# The checks fail the target if the lock-free comms layer regresses: ns/op
+# gates are generous because benchtime=1x wall-clock numbers carry ~8%
+# noise and the baseline was captured on one particular host; the allocs
+# gate is hardware-independent and guards the zero-allocation lane path.
 bench:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x -benchmem . \
 	  | $(GO) run ./cmd/benchjson \
-	      -label "PR2 recycled event lifecycle" \
-	      -baseline BENCH_BASELINE.json \
-	      -check 'KernelPHOLD/pe4:allocs/op<=0.5*baseline' \
-	      -check 'KernelPHOLD/pe1:allocs/op<=0.5*baseline' \
-	      -out BENCH_PR2.json
-	@echo wrote BENCH_PR2.json
+	      -label "PR3 lock-free batched cross-PE comms" \
+	      -baseline BENCH_PR3_BASELINE.json \
+	      -check 'KernelPHOLD/pe1:ns/op<=1.2*baseline' \
+	      -check 'KernelPHOLD/pe4:ns/op<=1.2*baseline' \
+	      -check 'KernelTorusComms/pe4:ns/op<=1.2*baseline' \
+	      -check 'KernelTorusComms/pe4:allocs/op<=1.05*baseline' \
+	      -out BENCH_PR3.json
+	@echo wrote BENCH_PR3.json
 
 # Every benchmark in every package, human-readable.
 bench-all:

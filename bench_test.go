@@ -351,6 +351,30 @@ func BenchmarkSyncEngines(b *testing.B) {
 	})
 }
 
+// BenchmarkKernelTorusComms is the cross-PE-traffic benchmark: the
+// hot-potato torus with a striped KP→PE placement, so nearly every packet
+// hop is a remote message. Where BenchmarkKernelPHOLD tracks the pending
+// queue and event loop, this number moves with the kernel's communication
+// layer — mailbox handoff, send coalescing and idle parking.
+func BenchmarkKernelTorusComms(b *testing.B) {
+	for _, pes := range []int{1, 4} {
+		b.Run(fmt.Sprintf("pe%d", pes), func(b *testing.B) {
+			var remote int64
+			for i := 0; i < b.N; i++ {
+				cfg := hotpotato.DefaultConfig(benchN)
+				cfg.Steps = 80
+				cfg.Seed = 1
+				cfg.NumPEs = pes
+				cfg.NumKPs = 256
+				cfg.PEOfKP = func(kp int) int { return kp % pes }
+				_, ks := runHotpotato(b, cfg)
+				remote += ks.MailSent
+			}
+			b.ReportMetric(float64(remote)/float64(b.N), "remote-msgs/run")
+		})
+	}
+}
+
 // BenchmarkKernelPHOLD is the raw kernel throughput benchmark, the number
 // to compare against other PDES engines.
 func BenchmarkKernelPHOLD(b *testing.B) {

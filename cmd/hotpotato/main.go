@@ -116,11 +116,13 @@ func main() {
 
 	fmt.Printf("hot-potato routing: %dx%d %s, policy=%s, %d steps, seed=%d\n",
 		*n, *n, cfg.Topology, policy.Name(), *steps, *seed)
-	// The memory line prints before the network block: the CLI equality
-	// test compares the network statistics across engines, and the pool
-	// counters legitimately differ between them.
+	// The memory and comms lines print before the network block: the CLI
+	// equality test compares the network statistics across engines, and
+	// the pool/comms counters legitimately differ between them.
 	fmt.Printf("memory: %d events recycled, pool hit rate %.3f, %d payloads reused\n",
 		ks.EventsRecycled, ks.PoolHitRate, ks.PayloadsRecycled)
+	fmt.Printf("comms: %d remote msgs in %d batches (avg %.1f), peak drain %d, %d parks, %d wakes\n",
+		ks.MailSent, ks.BatchesFlushed, ks.AvgBatchSize, ks.MailboxPeak, ks.Parks, ks.Wakes)
 	fmt.Print(totals)
 	if *kernel {
 		fmt.Print(ks)

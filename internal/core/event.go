@@ -81,7 +81,16 @@ type Event struct {
 	Bits Bitfield
 
 	// Kernel bookkeeping, touched only by the owning (destination) PE
-	// after the event has been handed off.
+	// after the event has been handed off. While the event (or an
+	// anti-message for it) rides a cross-PE lane, neither side may touch
+	// any of it: the sender stopped owning it at post time, and the
+	// destination does not own it until drain. The in-flight accounting
+	// (mailbox.go) is what makes the gap safe — mail queued in an outbox
+	// or lane keeps GVT from stabilising, so the event cannot be
+	// committed, fossil-collected, or recycled while in transit. That is
+	// also why Event carries no intrusive queue link: an event and its
+	// anti-message can be in flight simultaneously, which no single
+	// embedded next-pointer could represent.
 	state       eventState
 	gen         uint32   // incarnation counter, bumped on every pool free
 	sent        []*Event // events produced while processing this event

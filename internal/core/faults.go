@@ -51,6 +51,15 @@ type Faults struct {
 	// interleavings between PEs.
 	ShuffleMail bool
 
+	// MailBurst, when positive, holds each PE's outgoing mail batches in
+	// the outbox for n scheduler passes, then releases everything at once.
+	// This stresses the delayed-flush coalescing path: bursts arrive as
+	// one oversized batch (often overflowing a lane into the partial-push
+	// retry path), stragglers get older, and the GVT stability loop must
+	// keep counting held mail as in flight. GVT rounds force-flush, so
+	// held mail never outlives the round that needs it.
+	MailBurst int
+
 	// ThrottlePEs, when positive, slows PEs with id < ThrottlePEs: their
 	// batch size is capped at ThrottleBatch (default 1) and they yield the
 	// processor every pass. Uneven PE progress widens the spread between
@@ -62,7 +71,7 @@ type Faults struct {
 
 func (f *Faults) validate() error {
 	if f.RollbackEvery < 0 || f.RollbackDepth < 0 || f.GVTDelay < 0 ||
-		f.ThrottlePEs < 0 || f.ThrottleBatch < 0 {
+		f.ThrottlePEs < 0 || f.ThrottleBatch < 0 || f.MailBurst < 0 {
 		return errors.New("core: Faults fields must be non-negative")
 	}
 	return nil
@@ -75,6 +84,22 @@ type peFaults struct {
 	plan   *Faults
 	rng    *rng.Stream
 	passes int
+	burst  int
+}
+
+// holdMail implements the MailBurst fault: report true (hold the outbox)
+// for MailBurst consecutive flush attempts, then false (release) once.
+// Only unforced flushes consult it — the GVT stability loop always flushes.
+func (f *peFaults) holdMail() bool {
+	if f.plan.MailBurst <= 0 {
+		return false
+	}
+	f.burst++
+	if f.burst <= f.plan.MailBurst {
+		return true
+	}
+	f.burst = 0
+	return false
 }
 
 func newPEFaults(plan *Faults, peID int) *peFaults {
@@ -113,9 +138,10 @@ func (f *peFaults) shuffle(msgs []mail) {
 // perturbMail adversarially reorders a drained mailbox batch. The only
 // ordering the kernel's cancellation protocol needs is that an event's
 // positive copy is applied before its anti-message; partitioning positives
-// before cancellations preserves it (the mailbox lock already guarantees
-// the pair arrives in order, hence in the same or an earlier drain), while
-// the shuffles within each half explore arbitrary arrival interleavings.
+// before cancellations preserves it (per-sender FIFO through the outbox
+// and lane already guarantees the pair arrives in order, hence in the same
+// or an earlier drain), while the shuffles within each half explore
+// arbitrary arrival interleavings.
 func (f *peFaults) perturbMail(msgs []mail) {
 	p := 0
 	for i := range msgs {

@@ -69,15 +69,29 @@ func (s *Simulator) requestGVT() {
 		}
 	}
 	s.gvtRequested.Store(true)
+	// Parked PEs must join the round's barrier; wake them. (A PE that
+	// checks gvtRequested after this store never parks, so no sleeper is
+	// missed.)
+	s.wakeAll()
 }
 
 // gvtRound is the synchronous shared-memory GVT computation, run by every
 // PE together (cf. Fujimoto's GVT algorithm, which ROSS uses on shared
 // memory). The round first reaches a fixed point where no message is in
-// flight — each PE repeatedly drains its mailbox (which may trigger
-// rollbacks that send further anti-messages) until the global sent and
-// delivered counters agree — then takes GVT as the minimum pending event
-// time across PEs, fossil-collects, and decides termination.
+// flight — each PE repeatedly force-flushes its outbox and drains its
+// lanes (which may trigger rollbacks that send further anti-messages)
+// until the sent and delivered counts agree — then takes GVT as the
+// minimum pending event time across PEs, fossil-collects, and decides
+// termination.
+//
+// Fujimoto's algorithm only needs the in-flight count to agree at the
+// fixed point, not a live global count, so the counters are sharded: each
+// PE owns plain mailSent/mailReceived fields and PE 0 sums them between
+// barriers. The barrier's mutex orders every PE's writes before PE 0's
+// reads (and PE 0's reads before anyone's next write), so no atomics are
+// needed. mailSent is bumped at outbox-append time, which makes the fixed
+// point cover outboxes and lanes alike: mail held anywhere keeps the loop
+// unstable, and its event cannot be fossil-collected out from under it.
 //
 // It returns done=true when GVT has passed the end time and this PE has
 // committed everything.
@@ -88,17 +102,32 @@ func (pe *PE) gvtRound() (bool, error) {
 	}
 	for {
 		pe.drainMailbox()
+		pe.flushMail(true)
 		if err := s.bar.await(); err != nil {
 			return false, err
 		}
 		if pe.id == 0 {
-			s.gvtStable.Store(s.sent.Load() == s.delivered.Load())
+			var sent, delivered int64
+			for _, p := range s.pes {
+				sent += p.mailSent
+				delivered += p.mailReceived
+			}
+			s.gvtStable.Store(sent == delivered)
 		}
 		if err := s.bar.await(); err != nil {
 			return false, err
 		}
 		if s.gvtStable.Load() {
 			break
+		}
+	}
+	if s.cfg.CheckInvariants {
+		// Comms quiescence must be checked here, while every PE is still
+		// between the round's barriers; after the final barrier other PEs
+		// resume sending and may refill this PE's lanes.
+		if err := pe.checkQuiescentComms(); err != nil {
+			s.fail(err)
+			return false, err
 		}
 	}
 

@@ -70,3 +70,25 @@ func (pe *PE) checkInvariants(gvt Time) error {
 	})
 	return err
 }
+
+// checkQuiescentComms validates that this PE's communication state is
+// empty at the GVT fixed point: the stability loop has force-flushed every
+// outbox and drained every lane (sent == delivered), so anything left
+// behind is mail the GVT estimate failed to account for. Unlike
+// checkInvariants it must run *inside* the GVT round, right after the
+// stability loop breaks — after the round's final barrier other PEs resume
+// executing and may legitimately refill this PE's lanes.
+func (pe *PE) checkQuiescentComms() error {
+	for i := range pe.lanes {
+		if !pe.lanes[i].isEmpty() {
+			return fmt.Errorf("core: invariant: PE %d lane from PE %d not empty at GVT quiescence", pe.id, i)
+		}
+	}
+	for d, buf := range pe.outbox.bufs {
+		if len(buf) > 0 {
+			return fmt.Errorf("core: invariant: PE %d outbox for PE %d holds %d messages at GVT quiescence",
+				pe.id, d, len(buf))
+		}
+	}
+	return nil
+}

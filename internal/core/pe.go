@@ -3,69 +3,50 @@ package core
 import (
 	"fmt"
 	"runtime"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/eventq"
 )
 
-// minIdleThreshold is the initial number of empty scheduler passes before
-// an idle PE requests a GVT round.
+// minIdleThreshold is the number of empty scheduler passes before an idle
+// PE escalates: first to a GVT request, then — once a round has come and
+// gone with the PE still idle — to parking (see mailbox.go).
 const minIdleThreshold = 16
 
-// mail is one message between PEs: a positive event or a cancellation
-// (anti-message) for one.
-type mail struct {
-	ev     *Event
-	cancel bool
-}
-
-// mailbox is a mutex-guarded multi-producer single-consumer queue. Posts
-// from all senders are totally ordered by the lock, which guarantees a
-// cancellation can never be drained before the positive message it chases.
-type mailbox struct {
-	mu  sync.Mutex
-	buf []mail
-}
-
-func (m *mailbox) post(msg mail) {
-	m.mu.Lock()
-	m.buf = append(m.buf, msg)
-	m.mu.Unlock()
-}
-
-// drainInto swaps the buffer out under the lock and returns it; the caller
-// recycles the previous batch slice to avoid churn.
-func (m *mailbox) drainInto(batch []mail) []mail {
-	m.mu.Lock()
-	out := m.buf
-	m.buf = batch[:0]
-	m.mu.Unlock()
-	return out
-}
-
 // PE is a processing element: one goroutine owning a set of KPs (and their
-// LPs), a pending-event queue, and a mailbox for events arriving from other
-// PEs. All state reachable from a PE's LPs is only ever touched by that
-// PE's goroutine.
+// LPs), a pending-event queue, and per-sender inbound lanes for events
+// arriving from other PEs (see mailbox.go). All state reachable from a
+// PE's LPs is only ever touched by that PE's goroutine.
 type PE struct {
 	id  int
 	sim *Simulator
 
 	pending eventq.Queue[*Event]
-	inbox   mailbox
+	lanes   []lane // inbound SPSC rings, indexed by sender PE
+	outbox  outbox // outgoing mail, coalesced per destination
 	batch   []mail // recycled drain buffer
 	pool    eventPool
 	kps     []*KP
 
-	sinceGVT      int
-	idleSpins     int
-	idleThreshold int
+	parked atomic.Bool
+	wakeCh chan struct{}
+
+	sinceGVT  int
+	idleSpins int
+	// idleRound records that a GVT round completed while this PE was
+	// continuously idle; only then may it park, because the round's
+	// stability loop proved no mail was in flight toward it.
+	idleRound bool
 
 	// faults is non-nil only when Config.Faults is set; see faults.go.
 	faults *peFaults
 
 	// Statistics (owned by this PE; read by others only after Run).
+	// mailSent and mailReceived double as this PE's shards of the global
+	// in-flight message accounting: the GVT stability loop sums them
+	// across PEs between barriers (gvt.go), so no live global counter —
+	// and no cross-PE cache-line ping-pong — is needed.
 	processed          int64
 	committed          int64
 	rolledBackEvents   int64
@@ -75,42 +56,16 @@ type PE struct {
 	mailReceived       int64
 	canceledPending    int64
 	forcedRollbacks    int64
+	batchesFlushed     int64
+	batchedMessages    int64
+	mailboxPeak        int64
+	parks              int64
+	wakes              atomic.Int64 // bumped by the waker, not the owner
 	busy               time.Duration
 }
 
 // ID returns the PE index.
 func (pe *PE) ID() int { return pe.id }
-
-// post delivers a message from another PE; the global in-flight counter is
-// incremented before the post so the GVT round can detect transients.
-func (pe *PE) postRemote(msg mail) {
-	pe.sim.sent.Add(1)
-	pe.inbox.post(msg)
-}
-
-// drainMailbox pulls every queued message and applies it: positive events
-// are inserted (possibly triggering a primary rollback), cancellations are
-// resolved (possibly triggering a secondary rollback).
-func (pe *PE) drainMailbox() {
-	msgs := pe.inbox.drainInto(pe.batch)
-	if len(msgs) == 0 {
-		pe.batch = msgs
-		return
-	}
-	pe.sim.delivered.Add(int64(len(msgs)))
-	pe.mailReceived += int64(len(msgs))
-	if pe.faults != nil && pe.faults.plan.ShuffleMail && len(msgs) > 1 {
-		pe.faults.perturbMail(msgs)
-	}
-	for _, m := range msgs {
-		if m.cancel {
-			pe.cancelLocal(m.ev)
-		} else {
-			pe.insert(m.ev)
-		}
-	}
-	pe.batch = msgs
-}
 
 // alloc implements engine: events come from this PE's free list.
 func (pe *PE) alloc() *Event { return pe.pool.get() }
@@ -222,21 +177,19 @@ func (pe *PE) cancel(ev *Event) {
 		pe.cancelLocal(ev)
 		return
 	}
-	pe.mailSent++
-	dstPE.postRemote(mail{ev: ev, cancel: true})
+	pe.post(dstPE, mail{ev: ev, cancel: true})
 }
 
 // scheduleNew implements engine for the parallel kernel: a freshly sent
 // event goes straight into the local queue when its destination is local,
-// or through the destination PE's mailbox otherwise.
+// or into the outbox batch for its destination PE otherwise.
 func (pe *PE) scheduleNew(ev *Event) {
 	dstPE := pe.sim.lps[ev.dst].kp.pe
 	if dstPE == pe {
 		pe.insert(ev)
 		return
 	}
-	pe.mailSent++
-	dstPE.postRemote(mail{ev: ev})
+	pe.post(dstPE, mail{ev: ev})
 }
 
 // nextLive pops cancelled events off the top of the pending queue and
@@ -292,7 +245,12 @@ func (pe *PE) run() (err error) {
 	start := time.Now()
 	defer func() { pe.busy = time.Since(start) }()
 	for {
+		// Drain before flushing: applying inbound mail can roll back and
+		// generate anti-messages, and those are the latency-critical
+		// sends — a destination that keeps executing a cancelled event's
+		// descendants only digs a deeper rollback.
 		pe.drainMailbox()
+		pe.flushMail(false)
 
 		if s.gvtRequested.Load() {
 			done, gerr := pe.gvtRound()
@@ -302,6 +260,7 @@ func (pe *PE) run() (err error) {
 			if done {
 				return nil
 			}
+			pe.idleRound = true
 			continue
 		}
 
@@ -327,33 +286,38 @@ func (pe *PE) run() (err error) {
 		}
 
 		if n == 0 {
-			// Nothing executable below the horizon. If the optimism
-			// throttle is what blocks us (work exists below the end time),
-			// only a GVT advance can unblock, so request a round promptly.
-			// Otherwise spin briefly (new mail may be en route) with an
-			// exponential backoff so a starved PE does not thrash the
-			// whole machine with barrier rounds.
+			// Nothing executable below the horizon. Spin briefly (new mail
+			// may be en route), then escalate. If the optimism throttle is
+			// what blocks us (work exists below the end time), only a GVT
+			// advance can unblock, so keep requesting rounds — likewise if
+			// no round has run since we went idle, because mail may still
+			// be in flight toward us. Only once a round has come and gone
+			// with this PE still empty-handed is it safe to park: the
+			// round's stability loop proved nothing was in flight, so any
+			// future mail comes from a future send, whose flush wakes us.
 			throttled := false
 			if ev, ok := pe.nextLive(); ok && ev.recvTime < s.cfg.EndTime {
 				throttled = true
 			}
 			pe.idleSpins++
-			if throttled && pe.idleSpins >= minIdleThreshold {
-				pe.idleSpins = 0
-				s.requestGVT()
-			} else if pe.idleSpins >= pe.idleThreshold {
-				pe.idleSpins = 0
-				if pe.idleThreshold < 4096 {
-					pe.idleThreshold *= 2
-				}
-				s.requestGVT()
-			} else {
+			if pe.idleSpins < minIdleThreshold {
 				runtime.Gosched()
+				continue
+			}
+			pe.idleSpins = 0
+			if throttled || !pe.idleRound {
+				// Under the GVTDelay fault the request may be suppressed;
+				// re-requesting every threshold is what keeps that safe,
+				// and !idleRound keeps us from parking until one lands.
+				s.requestGVT()
+				runtime.Gosched()
+			} else if !s.gvtRequested.Load() {
+				pe.park()
 			}
 			continue
 		}
 		pe.idleSpins = 0
-		pe.idleThreshold = minIdleThreshold
+		pe.idleRound = false
 		pe.sinceGVT += n
 		if pe.faults != nil {
 			pe.maybeForceRollback(n)

@@ -166,8 +166,6 @@ type Simulator struct {
 	bootSeq uint64
 
 	bar          *barrier
-	sent         atomic.Int64
-	delivered    atomic.Int64
 	gvtDelayed   atomic.Int64
 	gvtRequested atomic.Bool
 	gvtStable    atomic.Bool
@@ -192,7 +190,13 @@ func New(cfg Config) (*Simulator, error) {
 	s.kps = make([]*KP, cfg.NumKPs)
 	s.pes = make([]*PE, cfg.NumPEs)
 	for i := range s.pes {
-		s.pes[i] = &PE{id: i, sim: s, idleThreshold: minIdleThreshold}
+		s.pes[i] = &PE{
+			id:     i,
+			sim:    s,
+			lanes:  make([]lane, cfg.NumPEs),
+			wakeCh: make(chan struct{}, 1),
+		}
+		s.pes[i].outbox.bufs = make([][]mail, cfg.NumPEs)
 		if cfg.Faults != nil {
 			s.pes[i].faults = newPEFaults(cfg.Faults, i)
 		}
@@ -309,7 +313,12 @@ func (s *Simulator) fail(err error) {
 	s.failOnce.Do(func() {
 		s.failErr = err
 		s.finished.Store(true)
+		// Bypass requestGVT (and its GVTDelay suppression): every PE —
+		// including parked ones, once woken — must route into gvtRound,
+		// where the poisoned barrier surfaces the failure.
+		s.gvtRequested.Store(true)
 		s.bar.poison()
+		s.wakeAll()
 	})
 }
 

@@ -21,6 +21,18 @@ type PEStats struct {
 	MailReceived    int64
 	Busy            time.Duration
 
+	// Comms counters (see mailbox.go). BatchesFlushed counts outbox
+	// batches pushed into lanes, BatchedMessages the messages they
+	// carried (their ratio is the average coalesced batch size);
+	// MailboxPeak is the most messages one drain pass applied. Parks
+	// counts times this PE slept instead of spinning idle, Wakes the
+	// wakeups delivered to it (by mail arrival, GVT requests or failure).
+	BatchesFlushed  int64
+	BatchedMessages int64
+	MailboxPeak     int64
+	Parks           int64
+	Wakes           int64
+
 	// Event-pool counters (see pool.go). PoolHits are Sends served from
 	// the free list, PoolMisses the ones that had to allocate;
 	// EventsRecycled counts events returned to this PE's pool (which may
@@ -82,8 +94,17 @@ type Stats struct {
 	PayloadsRecycled int64
 	PoolLivePeak     int64
 	PoolHitRate      float64
-	PEs              []PEStats
-	KPs              []KPStats
+	// Comms totals across PEs: coalescing effectiveness (batches flushed,
+	// messages batched, their ratio as AvgBatchSize), the deepest single
+	// mailbox drain on any PE, and the park/wake traffic of idle PEs.
+	BatchesFlushed  int64
+	BatchedMessages int64
+	AvgBatchSize    float64
+	MailboxPeak     int64
+	Parks           int64
+	Wakes           int64
+	PEs             []PEStats
+	KPs             []KPStats
 }
 
 // addPool folds one pool's counters (carried in a PEStats record) into the
@@ -122,6 +143,11 @@ func (s *Simulator) collectStats(wall time.Duration) *Stats {
 			MailSent:           pe.mailSent,
 			MailReceived:       pe.mailReceived,
 			Busy:               pe.busy,
+			BatchesFlushed:     pe.batchesFlushed,
+			BatchedMessages:    pe.batchedMessages,
+			MailboxPeak:        pe.mailboxPeak,
+			Parks:              pe.parks,
+			Wakes:              pe.wakes.Load(),
 		}
 		pe.pool.addTo(&ps)
 		st.addPool(ps)
@@ -134,6 +160,16 @@ func (s *Simulator) collectStats(wall time.Duration) *Stats {
 		st.ForcedRollbacks += ps.ForcedRollbacks
 		st.MailSent += ps.MailSent
 		st.MailReceived += ps.MailReceived
+		st.BatchesFlushed += ps.BatchesFlushed
+		st.BatchedMessages += ps.BatchedMessages
+		if ps.MailboxPeak > st.MailboxPeak {
+			st.MailboxPeak = ps.MailboxPeak
+		}
+		st.Parks += ps.Parks
+		st.Wakes += ps.Wakes
+	}
+	if st.BatchesFlushed > 0 {
+		st.AvgBatchSize = float64(st.BatchedMessages) / float64(st.BatchesFlushed)
 	}
 	for _, kp := range s.kps {
 		st.KPs = append(st.KPs, KPStats{
@@ -170,6 +206,10 @@ func (st *Stats) String() string {
 		fmt.Fprintf(&b, "  forced rollbacks:   %d (fault injection)\n", st.ForcedRollbacks)
 	}
 	fmt.Fprintf(&b, "  remote messages:    %d sent, %d received\n", st.MailSent, st.MailReceived)
+	if st.BatchesFlushed > 0 || st.Parks > 0 {
+		fmt.Fprintf(&b, "  comms:              %d batches (avg %.1f msgs), peak drain %d, %d parks, %d wakes\n",
+			st.BatchesFlushed, st.AvgBatchSize, st.MailboxPeak, st.Parks, st.Wakes)
+	}
 	fmt.Fprintf(&b, "  GVT rounds:         %d\n", st.GVTRounds)
 	fmt.Fprintf(&b, "  peak live events:   %d\n", st.PeakLiveEvents)
 	fmt.Fprintf(&b, "  events recycled:    %d (pool hit rate %.3f, %d allocs avoided)\n",

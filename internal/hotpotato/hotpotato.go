@@ -117,6 +117,12 @@ type Config struct {
 	// Faults arms the kernel's fault injectors (see core.Faults); only the
 	// optimistic Build honours it.
 	Faults *core.Faults
+	// KPOfLP / PEOfKP optionally override the kernel's locality-preserving
+	// LP→KP→PE placement (see core.Config). The comms benchmarks use a
+	// striped PEOfKP so nearly every packet hop crosses a PE boundary —
+	// the adversarial placement for the mailbox layer.
+	KPOfLP func(lp int) int
+	PEOfKP func(kp int) int
 }
 
 // DefaultConfig returns the report's standard configuration for an N×N
@@ -234,6 +240,8 @@ func Build(cfg Config) (*core.Simulator, *Model, error) {
 		OnGVT:           cfg.OnGVT,
 		CheckInvariants: cfg.CheckInvariants,
 		Faults:          cfg.Faults,
+		KPOfLP:          cfg.KPOfLP,
+		PEOfKP:          cfg.PEOfKP,
 	}
 	sim, err := core.New(kcfg)
 	if err != nil {

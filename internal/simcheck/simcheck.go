@@ -187,7 +187,7 @@ func Smoke() Matrix {
 		KPs:     []int{8},
 		Queues:  []string{"heap"},
 		Seeds:   []uint64{1, 42},
-		Faults:  []*core.Faults{nil, DefaultFaults()},
+		Faults:  []*core.Faults{nil, DefaultFaults(), BurstFaults()},
 	}
 }
 
@@ -201,7 +201,7 @@ func Full() Matrix {
 		KPs:     []int{4, 16},
 		Queues:  []string{"heap", "splay"},
 		Seeds:   []uint64{1, 7, 42, 1234},
-		Faults:  []*core.Faults{nil, DefaultFaults()},
+		Faults:  []*core.Faults{nil, DefaultFaults(), BurstFaults()},
 	}
 }
 
@@ -216,6 +216,21 @@ func DefaultFaults() *core.Faults {
 		ShuffleMail:   true,
 		ThrottlePEs:   1,
 		ThrottleBatch: 1,
+	}
+}
+
+// BurstFaults stresses the comms layer's delayed-flush coalescing: outgoing
+// mail is held for several passes and released as oversized bursts (driving
+// the lane-overflow retry path), on top of forced rollbacks and shuffled
+// delivery so anti-messages ride the same bursts as the positives they
+// chase.
+func BurstFaults() *core.Faults {
+	return &core.Faults{
+		Seed:          0xB00527,
+		RollbackEvery: 3,
+		RollbackDepth: 4,
+		ShuffleMail:   true,
+		MailBurst:     4,
 	}
 }
 
