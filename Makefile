@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-all simcheck check figures figures-full examples clean
+.PHONY: all build test race cover bench bench-all simcheck simlint lint check figures figures-full examples clean
 
 all: build test
 
@@ -21,8 +21,28 @@ race:
 simcheck:
 	$(GO) run ./cmd/simcheck
 
-# Everything a PR must pass: vet, tests, race tests, differential matrix.
-check: build test race simcheck
+# Build the simlint multichecker once (CI caches the binary).
+bin/simlint: $(shell find internal/analysis cmd/simlint -name '*.go' -not -path '*/testdata/*')
+	@mkdir -p bin
+	$(GO) build -o bin/simlint ./cmd/simlint
+
+simlint: bin/simlint
+	./bin/simlint ./...
+
+# Static analysis: gofmt, go vet, and the simlint Time Warp contract
+# checkers (docs/ANALYSIS.md). Fails on any unannotated finding.
+# (staticcheck would slot in here, but the build environment is offline;
+# vet + simlint are the self-contained equivalent.)
+lint: simlint
+	$(GO) vet ./...
+	@fmt_out=$$(gofmt -l . 2>/dev/null); \
+	if [ -n "$$fmt_out" ]; then \
+	  echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
+	fi
+
+# Everything a PR must pass: vet, lint, tests, race tests, differential
+# matrix.
+check: build lint test race simcheck
 
 cover:
 	$(GO) test ./internal/... -cover

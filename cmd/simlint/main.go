@@ -1,0 +1,57 @@
+// Command simlint runs the Time Warp kernel's static analyzer suite
+// (reversecheck, determcheck, lifecheck, statscheck — see docs/ANALYSIS.md)
+// over the packages matched by its arguments, defaulting to ./...
+//
+// Exit status is 1 when findings are reported, 2 on usage or load errors.
+// Findings are waived, where intentional, with //simlint:<keyword> <reason>
+// annotations; an unexplained or unknown annotation is itself a finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/driver"
+)
+
+func main() {
+	tests := flag.Bool("tests", false, "also analyze in-package _test.go files")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: simlint [-tests] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the simlint analyzers over the given package patterns (default ./...).\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			hatch := ""
+			if a.Keyword != "" {
+				hatch = fmt.Sprintf(" (waive: //simlint:%s <reason>)", a.Keyword)
+			}
+			fmt.Printf("%-14s %s%s\n", a.Name, a.Doc, hatch)
+		}
+		return
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		os.Exit(2)
+	}
+	findings, err := driver.Run(wd, *tests, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(driver.Rel(wd, f))
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,119 @@
+package analysis_test
+
+// An analysistest-style harness built on internal/analysis/load: each
+// fixture package under testdata/src/<name> annotates the lines where an
+// analyzer must report with trailing comments of the form
+//
+//	// want "regexp" "another regexp"
+//
+// The test fails on any diagnostic without a matching want on its line,
+// and on any want no diagnostic matched — so unannotated fixture code
+// doubles as the analyzer's negative (must-stay-silent) cases.
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// runFixture analyzes testdata/src/<name> with one analyzer, running the
+// analyzer over the fixture's own fixture-imports first so object facts
+// flow across packages like they do under the real driver.
+func runFixture(t *testing.T, a *analysis.Analyzer, name string) {
+	t.Helper()
+	loader, err := load.New(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.FixtureRoot = root
+	pkg, err := loader.LoadDir(filepath.Join(root, name), name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := loader.Fset()
+	facts := analysis.NewFactStore()
+	for _, dep := range loader.Fixtures() {
+		pass := analysis.NewPass(a, fset, dep.Files, dep.Types, dep.TypesInfo, facts, func(analysis.Diagnostic) {})
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("%s on dep %s: %v", a.Name, dep.ImportPath, err)
+		}
+	}
+	var got []analysis.Diagnostic
+	pass := analysis.NewPass(a, fset, pkg.Files, pkg.Types, pkg.TypesInfo, facts, func(d analysis.Diagnostic) {
+		got = append(got, d)
+	})
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	checkWants(t, fset, pkg.Files, got)
+}
+
+// expectation is one parsed want pattern awaiting a diagnostic.
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Patterns may be double-quoted or backquoted Go strings.
+var wantRe = regexp.MustCompile("want((?:\\s+(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`))+)")
+var wantStrRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, got []analysis.Diagnostic) {
+	t.Helper()
+	wants := make(map[string][]*expectation) // "file:line" -> patterns
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := pos.Filename + ":" + strconv.Itoa(pos.Line)
+				for _, q := range wantStrRe.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want string %s: %v", key, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, pat, err)
+					}
+					wants[key] = append(wants[key], &expectation{re: re})
+				}
+			}
+		}
+	}
+	for _, d := range got {
+		pos := fset.Position(d.Pos)
+		key := pos.Filename + ":" + strconv.Itoa(pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matched want %q", key, w.re)
+			}
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Determcheck enforces handler determinism: optimistic execution re-runs
+// events after rollbacks, and the kernel's differential guarantee (a
+// parallel run commits exactly the sequential order) only holds if a
+// handler's effects are a pure function of (state, event, LP random
+// stream). Wall-clock time, the global math/rand generators, map
+// iteration order, goroutine spawns and channel operations all break
+// that: re-execution would diverge from first execution, and parallel
+// from sequential.
+//
+// The analysis walks each Handler's Forward/Reverse static call graph.
+// Same-package callees are followed by body; cross-package callees are
+// followed through per-function summary facts exported when their home
+// package was analyzed (the driver runs packages in dependency order).
+// Dynamic calls (interface methods, function values) are not followed.
+// Intentional nondeterminism — e.g. the simcheck harness's seeded
+// mutations — is waived with //simlint:deterministic <reason>.
+var Determcheck = &Analyzer{
+	Name:    "determcheck",
+	Doc:     "flag nondeterminism (wall clock, global rand, map iteration, goroutines, channels) reachable from Handler call graphs",
+	Keyword: "deterministic",
+	Run:     runDetermcheck,
+}
+
+// detViolation is one nondeterminism site.
+type detViolation struct {
+	Pos  token.Pos
+	What string
+}
+
+// detSummary is the object fact exported for every function whose body
+// (transitively) contains nondeterminism, so dependent packages can check
+// handlers that call into this one.
+type detSummary struct {
+	Violations []detViolation
+}
+
+// maxSummaryViolations bounds fact size; a function with more distinct
+// nondeterminism sites than this is flagged at its first few anyway.
+const maxSummaryViolations = 8
+
+func runDetermcheck(pass *Pass) error {
+	decls := FuncDecls(pass)
+
+	// Order functions deterministically by source position.
+	var fns []*types.Func
+	for fn := range decls {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return decls[fns[i]].Pos() < decls[fns[j]].Pos() })
+
+	// Compute per-function transitive summaries with a DFS over the
+	// same-package call graph, consulting imported facts at the package
+	// boundary. Sites waived by //simlint:deterministic are dropped at
+	// collection time, in their home package, so the waiver travels with
+	// the fact.
+	summaries := make(map[*types.Func]*detSummary)
+	visiting := make(map[*types.Func]bool)
+	var summarize func(fn *types.Func) *detSummary
+	summarize = func(fn *types.Func) *detSummary {
+		if s, ok := summaries[fn]; ok {
+			return s
+		}
+		if visiting[fn] {
+			return &detSummary{} // recursion: the cycle's sites are collected at its entry
+		}
+		visiting[fn] = true
+		defer delete(visiting, fn)
+
+		fd := decls[fn]
+		s := &detSummary{}
+		add := func(pos token.Pos, what string) {
+			if pass.Suppressed(pos) || len(s.Violations) >= maxSummaryViolations {
+				return
+			}
+			s.Violations = append(s.Violations, detViolation{Pos: pos, What: what})
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if callee := StaticCallee(pass.TypesInfo, x); callee != nil {
+					if what := nondetCall(callee); what != "" {
+						add(x.Pos(), what)
+					} else if sub, ok := decls[callee]; ok && sub != fd {
+						for _, v := range summarize(callee).Violations {
+							add(v.Pos, v.What)
+						}
+					} else if callee.Pkg() != nil && callee.Pkg() != pass.Pkg {
+						// Cross-package: surface the dependency's summary at
+						// this call site, so the diagnostic (and any waiver)
+						// lands in the package under analysis.
+						var imported detSummary
+						if pass.ImportObjectFact(callee, &imported) {
+							for _, v := range imported.Violations {
+								add(x.Pos(), fmt.Sprintf("%s (via %s, at %v)",
+									v.What, callee.FullName(), pass.Fset.Position(v.Pos)))
+							}
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if t := pass.TypesInfo.TypeOf(x.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						add(x.Pos(), "map iteration (order is randomised per range statement)")
+					}
+				}
+			case *ast.GoStmt:
+				add(x.Pos(), "goroutine spawn")
+			case *ast.SendStmt:
+				add(x.Pos(), "channel send")
+			case *ast.SelectStmt:
+				add(x.Pos(), "select statement")
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW {
+					add(x.Pos(), "channel receive")
+				}
+			}
+			return true
+		})
+		summaries[fn] = s
+		return s
+	}
+
+	for _, fn := range fns {
+		if s := summarize(fn); len(s.Violations) > 0 {
+			pass.ExportObjectFact(fn, *s)
+		}
+	}
+
+	// Report every violation reachable from a handler root, once per
+	// site package-wide (helpers shared by several handlers would
+	// otherwise repeat).
+	seen := make(map[string]bool)
+	for _, h := range FindHandlers(pass) {
+		for _, root := range []*ast.FuncDecl{h.Forward, h.Reverse} {
+			fn, ok := pass.TypesInfo.Defs[root.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			for _, v := range summarize(fn).Violations {
+				key := fmt.Sprintf("%v/%s", v.Pos, v.What)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				pass.Reportf(v.Pos,
+					"%s handler of (%s) reaches nondeterminism: %s; optimistic re-execution will diverge (waive with //simlint:deterministic <reason>)",
+					root.Name.Name, relType(h.Named, pass.Pkg), v.What)
+			}
+		}
+	}
+	return nil
+}
+
+// nondetCall classifies direct calls to known nondeterministic stdlib
+// functions.
+func nondetCall(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	switch pkg.Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			return "wall-clock time via time." + fn.Name()
+		}
+	case "math/rand", "math/rand/v2":
+		// Anything from the global-generator packages: handlers must draw
+		// through the LP's reversible stream (lp.Rand and friends), which
+		// the kernel rewinds on rollback.
+		return pkg.Path() + "." + fn.Name() + " (not rewound on rollback; use the LP's reversible stream)"
+	case "runtime":
+		if fn.Name() == "Gosched" {
+			return "runtime.Gosched (scheduling-dependent)"
+		}
+	}
+	return ""
+}

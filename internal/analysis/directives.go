@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// simlint annotations are single-line comments of the form
+//
+//	//simlint:<keyword> <reason naming the waived invariant>
+//
+// A suppression annotation waives one analyzer's findings on the line it
+// shares, the line directly below it, or — when it appears in a function's
+// doc comment — the whole function body. The reason text is mandatory
+// (enforced by the driver): an unexplained waiver is itself a finding, so
+// every escape hatch in the tree names the invariant it bypasses.
+//
+// The one non-suppression directive is //simlint:sharded, which marks a
+// struct field as a PE-sharded counter for statscheck; it takes no reason.
+const directivePrefix = "//simlint:"
+
+// SuppressionKeywords maps each annotation keyword to the analyzer it
+// waives. "sharded" is absent: it is a marker, not a waiver.
+var SuppressionKeywords = map[string]string{
+	"irreversible":  "reversecheck",
+	"deterministic": "determcheck",
+	"retained":      "lifecheck",
+	"crosspe":       "statscheck",
+}
+
+// MarkerKeywords are directives that tag declarations for an analyzer
+// rather than waiving findings.
+var MarkerKeywords = map[string]bool{
+	"sharded": true,
+}
+
+// Directive is one parsed //simlint: annotation.
+type Directive struct {
+	Keyword string
+	Reason  string
+	// Pos is the position of the comment.
+	Pos token.Pos
+	// startLine..endLine is the suppression scope in the comment's file.
+	startLine, endLine int
+}
+
+// directiveIndex holds the annotations of one package's files, keyed by
+// file base offset for fast position lookup.
+type directiveIndex struct {
+	byFile map[*token.File][]Directive
+}
+
+// parseDirective splits one comment into a directive, if it is one.
+func parseDirective(text string) (keyword, reason string, ok bool) {
+	rest, found := strings.CutPrefix(text, directivePrefix)
+	if !found {
+		return "", "", false
+	}
+	keyword, reason, _ = strings.Cut(rest, " ")
+	return strings.TrimSpace(keyword), strings.TrimSpace(reason), true
+}
+
+// indexDirectives collects every simlint annotation in files. Line-level
+// annotations cover their own line and the next; annotations inside a
+// function declaration's doc comment cover the whole declaration.
+func indexDirectives(fset *token.FileSet, files []*ast.File) *directiveIndex {
+	idx := &directiveIndex{byFile: make(map[*token.File][]Directive)}
+	for _, f := range files {
+		tf := fset.File(f.Pos())
+		if tf == nil {
+			continue
+		}
+		// Doc-comment scopes: map each doc comment group to its decl span.
+		docScope := make(map[*ast.CommentGroup][2]int)
+		for _, decl := range f.Decls {
+			var doc *ast.CommentGroup
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				doc = d.Doc
+			case *ast.GenDecl:
+				doc = d.Doc
+			}
+			if doc != nil {
+				docScope[doc] = [2]int{fset.Position(decl.Pos()).Line, fset.Position(decl.End()).Line}
+			}
+		}
+		for _, cg := range f.Comments {
+			scope, isDoc := docScope[cg]
+			for _, c := range cg.List {
+				keyword, reason, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				line := fset.Position(c.Pos()).Line
+				d := Directive{Keyword: keyword, Reason: reason, Pos: c.Pos(), startLine: line, endLine: line + 1}
+				if isDoc {
+					d.startLine, d.endLine = scope[0], scope[1]
+				}
+				idx.byFile[tf] = append(idx.byFile[tf], d)
+			}
+		}
+	}
+	return idx
+}
+
+// suppressed reports whether a finding with the given analyzer keyword at
+// pos falls inside any matching annotation's scope.
+func (idx *directiveIndex) suppressed(fset *token.FileSet, pos token.Pos, keyword string) bool {
+	if keyword == "" || !pos.IsValid() {
+		return false
+	}
+	tf := fset.File(pos)
+	if tf == nil {
+		return false
+	}
+	line := fset.Position(pos).Line
+	for _, d := range idx.byFile[tf] {
+		if d.Keyword == keyword && line >= d.startLine && line <= d.endLine {
+			return true
+		}
+	}
+	return false
+}
+
+// Directives returns every annotation in the files, for driver hygiene
+// checks (unknown keywords, missing reasons).
+func Directives(fset *token.FileSet, files []*ast.File) []Directive {
+	idx := indexDirectives(fset, files)
+	var out []Directive
+	for _, ds := range idx.byFile {
+		out = append(out, ds...)
+	}
+	return out
+}
+
+// HasMarker reports whether a comment group carries the given marker
+// directive (e.g. "sharded").
+func HasMarker(cg *ast.CommentGroup, keyword string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if kw, _, ok := parseDirective(c.Text); ok && kw == keyword {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,132 @@
+// Package driver runs the simlint analyzer suite over a module.
+//
+// It loads the requested packages (plus all their module-internal
+// dependencies) through internal/analysis/load, then runs every analyzer
+// over every loaded package in dependency order, sharing one fact store —
+// so facts exported while analyzing a dependency are visible when its
+// dependents are analyzed. Diagnostics are only kept for the packages the
+// patterns matched directly; dependencies are analyzed for their facts.
+package driver
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// Finding is one formatted diagnostic.
+type Finding struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Position, f.Analyzer, f.Message)
+}
+
+// Run analyzes the packages matched by patterns in the module containing
+// dir and returns the findings, sorted by position. includeTests adds
+// in-package _test.go files.
+func Run(dir string, includeTests bool, patterns ...string) ([]Finding, error) {
+	loader, err := load.New(dir)
+	if err != nil {
+		return nil, err
+	}
+	loader.IncludeTests = includeTests
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, requested, err := loader.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := loader.Fset()
+	analyzers := analysis.Analyzers()
+	facts := analysis.NewFactStore()
+	var findings []Finding
+	for _, p := range pkgs {
+		// Skip the analyzers' own tree: its fixtures and message strings
+		// deliberately violate every contract.
+		if strings.HasPrefix(p.ImportPath, loader.ModulePath+"/internal/analysis") {
+			continue
+		}
+		keep := requested[p.ImportPath]
+		for _, a := range analyzers {
+			pass := analysis.NewPass(a, fset, p.Files, p.Types, p.TypesInfo, facts, func(d analysis.Diagnostic) {
+				if keep {
+					findings = append(findings, Finding{
+						Position: fset.Position(d.Pos),
+						Analyzer: a.Name,
+						Message:  d.Message,
+					})
+				}
+			})
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", p.ImportPath, a.Name, err)
+			}
+		}
+		if keep {
+			findings = append(findings, directiveHygiene(fset, p)...)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Position, findings[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return findings[i].Message < findings[j].Message
+	})
+	return findings, nil
+}
+
+// directiveHygiene flags malformed //simlint: annotations: unknown
+// keywords, and suppression annotations with no reason (an unexplained
+// waiver defeats the point of requiring one).
+func directiveHygiene(fset *token.FileSet, p *load.Package) []Finding {
+	var out []Finding
+	for _, d := range analysis.Directives(fset, p.Files) {
+		_, isSuppression := analysis.SuppressionKeywords[d.Keyword]
+		switch {
+		case !isSuppression && !analysis.MarkerKeywords[d.Keyword]:
+			known := make([]string, 0, len(analysis.SuppressionKeywords)+len(analysis.MarkerKeywords))
+			for k := range analysis.SuppressionKeywords {
+				known = append(known, k)
+			}
+			for k := range analysis.MarkerKeywords {
+				known = append(known, k)
+			}
+			sort.Strings(known)
+			out = append(out, Finding{
+				Position: fset.Position(d.Pos),
+				Analyzer: "simlint",
+				Message:  fmt.Sprintf("unknown directive //simlint:%s (known: %s)", d.Keyword, strings.Join(known, ", ")),
+			})
+		case isSuppression && d.Reason == "":
+			out = append(out, Finding{
+				Position: fset.Position(d.Pos),
+				Analyzer: "simlint",
+				Message:  fmt.Sprintf("//simlint:%s needs a reason naming the invariant being waived", d.Keyword),
+			})
+		}
+	}
+	return out
+}
+
+// Rel shortens a finding position's filename relative to base, for
+// stable output in tests and CI logs.
+func Rel(base string, f Finding) Finding {
+	if rel, err := filepath.Rel(base, f.Position.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		f.Position.Filename = rel
+	}
+	return f
+}

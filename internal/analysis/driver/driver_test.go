@@ -1,0 +1,24 @@
+package driver_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/driver"
+)
+
+// TestRepoIsClean is simlint's self-test: the whole module must analyze
+// with zero findings — every intentional contract exception in the tree
+// carries its //simlint: annotation, and no new violation has crept in.
+// This is the same invariant `make lint` enforces in CI.
+func TestRepoIsClean(t *testing.T) {
+	findings, err := driver.Run(".", false, "./...")
+	if err != nil {
+		t.Fatalf("simlint failed to run: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Fatalf("simlint found %d unannotated finding(s); fix them or waive with //simlint:<keyword> <reason>", len(findings))
+	}
+}

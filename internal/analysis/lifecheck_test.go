@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func TestLifecheck(t *testing.T) {
+	runFixture(t, analysis.Lifecheck, "lifecheck")
+}
+
+func TestLifecheckKernel(t *testing.T) {
+	runFixture(t, analysis.Lifecheck, "lifecheck_kernel")
+}

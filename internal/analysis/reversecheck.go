@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Reversecheck enforces the reverse-computation contract (core.Handler):
+// every LP-state field a Forward handler mutates must be restored by the
+// matching Reverse handler. This is the invariant ROSS-style kernels rest
+// on — the kernel rewinds sends, random draws and the send sequence, but
+// model state is the model's job, and a forgotten restore only surfaces
+// dynamically as a rollback-dependent state divergence (the exact bug
+// class simcheck's MutBrokenReverse seeds).
+//
+// The analysis is static and intra-package: for each Handler
+// implementation it walks Forward's and Reverse's statically reachable
+// same-package call graphs, collects assignments to fields of the LP
+// state type (discovered from `lp.State.(*T)` assertions), and flags
+// field paths mutated forward but never touched in reverse. Mutations
+// behind dynamic dispatch are not seen; deliberately irreversible fields
+// are waived with //simlint:irreversible <reason>.
+var Reversecheck = &Analyzer{
+	Name:    "reversecheck",
+	Doc:     "flag LP state fields mutated in Forward but never restored in Reverse",
+	Keyword: "irreversible",
+	Run:     runReversecheck,
+}
+
+// stateWrite is one recorded mutation of a state field path.
+type stateWrite struct {
+	path string
+	pos  token.Pos
+}
+
+func runReversecheck(pass *Pass) error {
+	decls := FuncDecls(pass)
+	for _, h := range FindHandlers(pass) {
+		fwdDecls := ReachableDecls(pass, decls, h.Forward, nil)
+		revDecls := ReachableDecls(pass, decls, h.Reverse, nil)
+
+		stateTypes := make(map[*types.Named]bool)
+		for _, fd := range append(append([]*ast.FuncDecl(nil), fwdDecls...), revDecls...) {
+			collectStateTypes(pass, fd, stateTypes)
+		}
+		if len(stateTypes) == 0 {
+			continue // delegating wrapper or stateless handler
+		}
+		isState := func(t types.Type) bool {
+			n := namedOf(t)
+			return n != nil && stateTypes[n]
+		}
+
+		fwd := collectStateWrites(pass, fwdDecls, isState)
+		rev := collectStateWrites(pass, revDecls, isState)
+
+		var paths []string
+		for path := range fwd {
+			paths = append(paths, path)
+		}
+		sort.Strings(paths)
+		for _, path := range paths {
+			covered := false
+			for rpath := range rev {
+				if PathCovers(rpath, path) {
+					covered = true
+					break
+				}
+			}
+			if covered {
+				continue
+			}
+			w := fwd[path]
+			pass.Reportf(w.pos,
+				"(%s).Forward mutates LP state field %q but Reverse never restores it; reverse computation is incomplete (waive with //simlint:irreversible <reason>)",
+				relType(h.Named, pass.Pkg), pathOrState(path))
+		}
+	}
+	return nil
+}
+
+func pathOrState(path string) string {
+	if path == "" {
+		return "<whole state>"
+	}
+	return path
+}
+
+// relType renders a named type relative to the package under analysis.
+func relType(n *types.Named, pkg *types.Package) string {
+	if n.Obj().Pkg() == pkg {
+		return "*" + n.Obj().Name()
+	}
+	return "*" + n.Obj().Pkg().Name() + "." + n.Obj().Name()
+}
+
+// collectStateTypes records the state types a function body asserts out
+// of lp.State — the kernel's convention for binding model state.
+func collectStateTypes(pass *Pass, fd *ast.FuncDecl, out map[*types.Named]bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ta, ok := n.(*ast.TypeAssertExpr)
+		if !ok || ta.Type == nil {
+			return true
+		}
+		sel, ok := ast.Unparen(ta.X).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "State" {
+			return true
+		}
+		if !isKernelType(pass.TypesInfo.TypeOf(sel.X), "LP") {
+			return true
+		}
+		if n := namedOf(pass.TypesInfo.TypeOf(ta.Type)); n != nil {
+			out[n] = true
+		}
+		return true
+	})
+}
+
+// collectStateWrites gathers every assignment/inc-dec whose target is a
+// field path rooted at a state-typed value, across the given bodies. The
+// first write to each path wins (for reporting position).
+func collectStateWrites(pass *Pass, decls []*ast.FuncDecl, isState func(types.Type) bool) map[string]stateWrite {
+	writes := make(map[string]stateWrite)
+	record := func(expr ast.Expr, pos token.Pos) {
+		path, ok := StatePath(pass.TypesInfo, expr, isState)
+		if !ok {
+			return
+		}
+		if _, dup := writes[path]; !dup {
+			writes[path] = stateWrite{path: path, pos: pos}
+		}
+	}
+	for _, fd := range decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range s.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+					record(lhs, lhs.Pos())
+				}
+			case *ast.IncDecStmt:
+				record(s.X, s.X.Pos())
+			case *ast.UnaryExpr:
+				// &st.field escaping into a call can be mutated out of
+				// sight; treat taking the address of a state field as a
+				// write so e.g. json.Unmarshal(&st.X) is accounted for.
+				if s.Op == token.AND {
+					record(s.X, s.X.Pos())
+				}
+			}
+			return true
+		})
+	}
+	return writes
+}

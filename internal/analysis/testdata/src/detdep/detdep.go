@@ -1,0 +1,14 @@
+// Package detdep is a dependency fixture for determcheck's cross-package
+// fact propagation: its nondeterminism must surface at call sites in
+// packages that import it.
+package detdep
+
+import "time"
+
+// Jitter is nondeterministic: it reads the wall clock.
+func Jitter() int64 {
+	return time.Now().UnixNano()
+}
+
+// Pure is deterministic.
+func Pure(x int64) int64 { return x * 2654435761 }

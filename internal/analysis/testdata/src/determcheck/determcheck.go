@@ -1,0 +1,92 @@
+// Fixture for determcheck: nondeterminism reachable from handler call
+// graphs, including through same-package helpers and cross-package facts.
+package determcheck
+
+import (
+	"core"
+	"detdep"
+	"math/rand"
+	"time"
+)
+
+type State struct {
+	N int
+	M map[int]int
+}
+
+// Bad reaches several nondeterminism sources directly.
+type Bad struct{}
+
+func (Bad) Forward(lp *core.LP, ev *core.Event) {
+	st := lp.State.(*State)
+	_ = time.Now().Unix() // want `wall-clock time via time\.Now`
+	st.N += rand.Intn(4)  // want `math/rand\.Intn`
+	for k := range st.M { // want `map iteration`
+		st.N += k
+	}
+}
+
+func (Bad) Reverse(lp *core.LP, ev *core.Event) {}
+
+// Leaky reaches nondeterminism through a helper and through an imported
+// package (whose summary arrives as an object fact).
+type Leaky struct{}
+
+func (Leaky) Forward(lp *core.LP, ev *core.Event) {
+	helper()
+	_ = detdep.Jitter() // want `via detdep\.Jitter`
+	go func() {}()      // want `goroutine spawn`
+}
+
+func (Leaky) Reverse(lp *core.LP, ev *core.Event) {}
+
+func helper() {
+	_ = time.Since(time.Time{}) // want `wall-clock time via time\.Since`
+}
+
+// Chatty uses channels inside a handler.
+type Chatty struct{}
+
+func (Chatty) Forward(lp *core.LP, ev *core.Event) {
+	ch := make(chan int, 1)
+	ch <- 1  // want `channel send`
+	_ = <-ch // want `channel receive`
+}
+
+func (Chatty) Reverse(lp *core.LP, ev *core.Event) {}
+
+// Good draws randomness only from the LP's reversible stream and calls a
+// deterministic dependency; it must stay silent.
+type Good struct{}
+
+func (Good) Forward(lp *core.LP, ev *core.Event) {
+	st := lp.State.(*State)
+	st.N += int(lp.Rand() & 3)
+	st.N += int(detdep.Pure(int64(st.N)))
+}
+
+func (Good) Reverse(lp *core.LP, ev *core.Event) {}
+
+// Waived wraps intentional nondeterminism (e.g. seeded fault injection)
+// behind an annotated helper; the waiver suppresses it at the source.
+type Waived struct{}
+
+func (Waived) Forward(lp *core.LP, ev *core.Event) {
+	waivedHelper()
+}
+
+func (Waived) Reverse(lp *core.LP, ev *core.Event) {}
+
+// waivedHelper deliberately samples the wall clock.
+//
+//simlint:deterministic fixture: timing probe only, never feeds back into state
+func waivedHelper() {
+	_ = time.Now()
+}
+
+// NotAHandler has the right names but the wrong signature; it is not a
+// handler root, so its nondeterminism is not reported.
+type NotAHandler struct{}
+
+func (NotAHandler) Forward(x int) { _ = time.Now() }
+func (NotAHandler) Reverse(x int) { _ = time.Now() }

@@ -1,0 +1,71 @@
+// Fixture for reversecheck: Forward/Reverse pairs that do and do not
+// restore the LP state fields they mutate.
+package reversecheck
+
+import "core"
+
+type State struct {
+	Count int
+	Log   []int
+	Nest  struct{ A, B int }
+	Skip  int
+}
+
+// Bad forgets to restore Log and Nest.A.
+type Bad struct{}
+
+func (Bad) Forward(lp *core.LP, ev *core.Event) {
+	st := lp.State.(*State)
+	st.Count++
+	st.Log = append(st.Log, 1) // want `mutates LP state field "Log"`
+	st.Nest.A = 7              // want `mutates LP state field "Nest\.A"`
+}
+
+func (Bad) Reverse(lp *core.LP, ev *core.Event) {
+	st := lp.State.(*State)
+	st.Count--
+}
+
+// Good restores everything it touches, one field through a helper.
+type Good struct{}
+
+func (Good) Forward(lp *core.LP, ev *core.Event) {
+	st := lp.State.(*State)
+	st.Count++
+	bumpLog(st)
+}
+
+func (Good) Reverse(lp *core.LP, ev *core.Event) {
+	st := lp.State.(*State)
+	st.Count--
+	st.Log = st.Log[:len(st.Log)-1]
+}
+
+func bumpLog(st *State) {
+	st.Log = append(st.Log, 1)
+}
+
+// Coarse restores the nested struct wholesale: restoring a prefix path
+// covers every mutation below it.
+type Coarse struct{}
+
+func (Coarse) Forward(lp *core.LP, ev *core.Event) {
+	st := lp.State.(*State)
+	st.Nest.A = 1
+	st.Nest.B = 2
+}
+
+func (Coarse) Reverse(lp *core.LP, ev *core.Event) {
+	st := lp.State.(*State)
+	st.Nest = struct{ A, B int }{}
+}
+
+// Waived mutates a monotonic counter on purpose.
+type Waived struct{}
+
+func (Waived) Forward(lp *core.LP, ev *core.Event) {
+	st := lp.State.(*State)
+	st.Skip++ //simlint:irreversible fixture: monotonic diagnostic counter, never read by the model
+}
+
+func (Waived) Reverse(lp *core.LP, ev *core.Event) {}

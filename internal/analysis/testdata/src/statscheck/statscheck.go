@@ -1,0 +1,49 @@
+// Fixture for statscheck: PE-sharded counters may only be touched
+// through methods of the owning type; everything else needs a barrier
+// and a //simlint:crosspe waiver.
+package statscheck
+
+type Shard struct {
+	hits int64 //simlint:sharded
+	//simlint:sharded
+	misses int64
+	name   string // untagged: freely shared
+}
+
+// bump is the owner's hot path: receiver access is allowed.
+func (s *Shard) bump() {
+	s.hits++
+	s.misses++
+}
+
+// stealFrom touches another shard's counter from inside an owner method:
+// the receiver check is per-value, not per-type.
+func (s *Shard) stealFrom(o *Shard) {
+	s.hits += o.hits // want `access to PE-sharded counter`
+}
+
+// Sum races with every owner.
+func Sum(all []*Shard) int64 {
+	var t int64
+	for _, s := range all {
+		t += s.hits // want `access to PE-sharded counter`
+	}
+	return t
+}
+
+// SumAtBarrier is the sanctioned pattern: a barrier orders the reads, and
+// the waiver names it.
+func SumAtBarrier(all []*Shard) int64 {
+	var t int64
+	for _, s := range all {
+		t += s.misses //simlint:crosspe fixture: caller holds the collection barrier
+	}
+	return t
+}
+
+// Rename touches only the untagged field: no finding.
+func Rename(all []*Shard, n string) {
+	for _, s := range all {
+		s.name = n
+	}
+}

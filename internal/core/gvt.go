@@ -109,8 +109,11 @@ func (pe *PE) gvtRound() (bool, error) {
 		if pe.id == 0 {
 			var sent, delivered int64
 			for _, p := range s.pes {
-				sent += p.mailSent
-				delivered += p.mailReceived
+				// The barrier just crossed orders every PE's counter writes
+				// before these reads, and the next barrier holds the PEs
+				// until PE0 is done reading.
+				sent += p.mailSent          //simlint:crosspe barrier-ordered read inside the GVT stability window
+				delivered += p.mailReceived //simlint:crosspe barrier-ordered read inside the GVT stability window
 			}
 			s.gvtStable.Store(sent == delivered)
 		}

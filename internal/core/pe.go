@@ -47,21 +47,23 @@ type PE struct {
 	// in-flight message accounting: the GVT stability loop sums them
 	// across PEs between barriers (gvt.go), so no live global counter —
 	// and no cross-PE cache-line ping-pong — is needed.
+	//
+	//simlint:sharded
 	processed          int64
-	committed          int64
-	rolledBackEvents   int64
-	primaryRollbacks   int64
-	secondaryRollbacks int64
-	mailSent           int64
-	mailReceived       int64
-	canceledPending    int64
-	forcedRollbacks    int64
-	batchesFlushed     int64
-	batchedMessages    int64
-	mailboxPeak        int64
-	parks              int64
-	wakes              atomic.Int64 // bumped by the waker, not the owner
-	busy               time.Duration
+	committed          int64         //simlint:sharded
+	rolledBackEvents   int64         //simlint:sharded
+	primaryRollbacks   int64         //simlint:sharded
+	secondaryRollbacks int64         //simlint:sharded
+	mailSent           int64         //simlint:sharded
+	mailReceived       int64         //simlint:sharded
+	canceledPending    int64         //simlint:sharded
+	forcedRollbacks    int64         //simlint:sharded
+	batchesFlushed     int64         //simlint:sharded
+	batchedMessages    int64         //simlint:sharded
+	mailboxPeak        int64         //simlint:sharded
+	parks              int64         //simlint:sharded
+	wakes              atomic.Int64  // bumped by the waker, not the owner: atomic, so not sharded
+	busy               time.Duration //simlint:sharded
 }
 
 // ID returns the PE index.

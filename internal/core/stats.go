@@ -124,6 +124,11 @@ func (st *Stats) finishPools() {
 	}
 }
 
+// collectStats folds every PE's sharded counters into one Stats
+// snapshot. It runs only after Run has joined all PE goroutines, so each
+// PE's counter writes happen-before these reads.
+//
+//simlint:crosspe post-Run read; the goroutine joins order all PE counter writes before this
 func (s *Simulator) collectStats(wall time.Duration) *Stats {
 	st := &Stats{
 		GVTRounds: s.gvtRounds,

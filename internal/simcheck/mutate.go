@@ -2,6 +2,7 @@ package simcheck
 
 import (
 	"repro/internal/core"
+	"repro/internal/phold"
 	"repro/internal/routing"
 )
 
@@ -24,10 +25,20 @@ const (
 	// complement), the kind of flipped-comparison bug a priority scheme
 	// makes easy to write. Hot-potato only.
 	MutBrokenPriority Mutation = "broken-priority"
+	// MutMapOrder folds Go's randomised map iteration order into PHOLD
+	// state on every event — the nondeterminism bug class simlint's
+	// determcheck rejects statically (handlers must be pure functions of
+	// state, event and the LP's reversible stream). Seeding it here keeps
+	// the differential oracle honest about the same contract: two runs of
+	// the same cell commit different histories, so the matrix must report
+	// a divergence. PHOLD only.
+	MutMapOrder Mutation = "map-order"
 )
 
 // Mutations lists the seeded bugs available to -mutation.
-func Mutations() []Mutation { return []Mutation{MutBrokenReverse, MutBrokenPriority} }
+func Mutations() []Mutation {
+	return []Mutation{MutBrokenReverse, MutBrokenPriority, MutMapOrder}
+}
 
 // brokenReverse skips the inner Reverse on odd LPs. Commit must still chain
 // so trace recording (and model commit pruning) keep working.
@@ -67,6 +78,36 @@ func (b brokenPriority) Route(ctx *routing.Ctx) routing.Decision {
 		}
 	}
 	return d
+}
+
+// mapOrderNoise perturbs PHOLD state by the first key a map range
+// happens to yield. The map is rebuilt per event so every execution —
+// including re-execution after a rollback — draws a fresh iteration
+// order; committed state becomes run-dependent, which is exactly the
+// contract violation determcheck flags at compile time.
+type mapOrderNoise struct{ inner core.Handler }
+
+func (m mapOrderNoise) Forward(lp *core.LP, ev *core.Event) {
+	m.inner.Forward(lp, ev)
+	if st, ok := lp.State.(*phold.State); ok {
+		noise := map[int64]int64{1: 1, 2: 2, 3: 3, 5: 5, 8: 8, 13: 13, 21: 21, 34: 34}
+		for k := range noise { //simlint:deterministic seeded map-order bug: the simcheck self-test asserts the oracle catches this
+			st.Processed += k //simlint:irreversible seeded bug: the noise is unreversible by construction (not a function of state/event)
+			break
+		}
+	}
+}
+
+func (m mapOrderNoise) Reverse(lp *core.LP, ev *core.Event) {
+	// Deliberately does not undo the noise: the perturbation is not a
+	// function of (state, event), so no reverse computation could.
+	m.inner.Reverse(lp, ev)
+}
+
+func (m mapOrderNoise) Commit(lp *core.LP, ev *core.Event) {
+	if committer, ok := m.inner.(core.Committer); ok {
+		committer.Commit(lp, ev)
+	}
 }
 
 // hotpotatoPolicy returns the routing policy for a hot-potato cell,

@@ -422,8 +422,11 @@ func (in *instance) instrument(c Cell) {
 	in.rec = trace.NewRecorder(0)
 	in.host.ForEachLP(func(lp *core.LP) {
 		h := lp.Handler
-		if c.Mutation == MutBrokenReverse {
+		switch c.Mutation {
+		case MutBrokenReverse:
 			h = brokenReverse{inner: h}
+		case MutMapOrder:
+			h = mapOrderNoise{inner: h}
 		}
 		lp.Handler = trace.Wrap(h, in.rec, in.describe)
 	})

@@ -97,6 +97,31 @@ func TestMutationBrokenPriorityDetected(t *testing.T) {
 	}
 }
 
+// TestMutationMapOrderDetected: folding map iteration order into state —
+// the nondeterminism class simlint's determcheck rejects statically —
+// must be caught dynamically too: the mutated run's committed state
+// cannot match the clean reference.
+func TestMutationMapOrderDetected(t *testing.T) {
+	rep := Run(Matrix{
+		Models:   []string{"phold"},
+		Engines:  []EngineKind{EngOptimistic},
+		PEs:      []int{2},
+		KPs:      []int{8},
+		Queues:   []string{"heap"},
+		Seeds:    []uint64{1},
+		Mutation: MutMapOrder,
+	}, t.Logf)
+	if rep.OK() {
+		t.Fatal("seeded map-order bug went undetected")
+	}
+	artifact := rep.Divergences[0].String()
+	for _, want := range []string{"seed=1", "model=phold", "mutation=map-order"} {
+		if !strings.Contains(artifact, want) {
+			t.Errorf("failure artifact missing %q:\n%s", want, artifact)
+		}
+	}
+}
+
 // TestMutationsInvisibleToCleanCells: a mutated matrix still runs its
 // reference un-mutated; this guards against the self-test passing because
 // both sides carry the same bug.
