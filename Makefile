@@ -48,23 +48,26 @@ cover:
 	$(GO) test ./internal/... -cover
 
 # Figure benchmarks with allocation accounting, captured as a machine-
-# readable trajectory (BENCH_PR3.json embeds the committed pre-PR3 baseline
-# so before/after travel together; format documented in EXPERIMENTS.md).
-# The checks fail the target if the lock-free comms layer regresses: ns/op
-# gates are generous because benchtime=1x wall-clock numbers carry ~8%
-# noise and the baseline was captured on one particular host; the allocs
-# gate is hardware-independent and guards the zero-allocation lane path.
+# readable trajectory (format documented in EXPERIMENTS.md). The baseline
+# is the committed PR3 result set: the record/replay hooks sit on the
+# kernel hot path (one nil pointer test per site when no sink is
+# attached), so the gates hold the record-disabled kernel to PR3 speed and
+# allocation counts. ns/op gates are generous because benchtime=1x
+# wall-clock numbers carry ~8% noise and the baseline was captured on one
+# particular host; the allocs gates are hardware-independent.
 bench:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x -benchmem . \
 	  | $(GO) run ./cmd/benchjson \
-	      -label "PR3 lock-free batched cross-PE comms" \
-	      -baseline BENCH_PR3_BASELINE.json \
+	      -label "PR5 record/replay hooks (disabled) vs PR3" \
+	      -baseline BENCH_PR3.json \
 	      -check 'KernelPHOLD/pe1:ns/op<=1.2*baseline' \
 	      -check 'KernelPHOLD/pe4:ns/op<=1.2*baseline' \
+	      -check 'KernelPHOLD/pe1:allocs/op<=1.05*baseline' \
+	      -check 'KernelPHOLD/pe4:allocs/op<=1.05*baseline' \
 	      -check 'KernelTorusComms/pe4:ns/op<=1.2*baseline' \
 	      -check 'KernelTorusComms/pe4:allocs/op<=1.05*baseline' \
-	      -out BENCH_PR3.json
-	@echo wrote BENCH_PR3.json
+	      -out BENCH_PR5.json
+	@echo wrote BENCH_PR5.json
 
 # Every benchmark in every package, human-readable.
 bench-all:

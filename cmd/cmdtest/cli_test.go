@@ -18,7 +18,7 @@ func TestMain(m *testing.M) {
 		panic(err)
 	}
 	binDir = dir
-	for _, tool := range []string{"hotpotato", "figures", "phold"} {
+	for _, tool := range []string{"hotpotato", "figures", "phold", "replay"} {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "repro/cmd/"+tool)
 		cmd.Dir = ".."
 		if out, err := cmd.CombinedOutput(); err != nil {
@@ -134,4 +134,57 @@ func TestFiguresCLI(t *testing.T) {
 		t.Fatalf("CSV mode missing title comment:\n%s", chart)
 	}
 	runExpectError(t, "figures", "-fig", "99")
+}
+
+// TestReplayCLI drives the full record -> verify -> dump -> shrink loop: a
+// clean recording must verify on both engines; a recording of a seeded
+// mutation must diverge from the sequential oracle, shrink to a fraction of
+// its injections, and STILL diverge after shrinking.
+func TestReplayCLI(t *testing.T) {
+	dir := t.TempDir()
+	clean := filepath.Join(dir, "clean.replay")
+
+	out := run(t, "replay", "-record", "-model", "hotpotato", "-pes", "2", "-seed", "7", "-o", clean)
+	if !strings.Contains(out, "recorded "+clean) {
+		t.Fatalf("record output wrong:\n%s", out)
+	}
+	for _, mode := range []string{"verify", "sequential"} {
+		out = run(t, "replay", "-mode", mode, clean)
+		if !strings.Contains(out, mode+" reproduces") {
+			t.Fatalf("-mode %s did not reproduce the recording:\n%s", mode, out)
+		}
+	}
+	out = run(t, "replay", "-dump", clean)
+	for _, want := range []string{"replay log v1", "model=hotpotato", "injections:", "rounds:", "final:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+
+	// A mutated recording fails against the oracle, before and after shrink.
+	bad := filepath.Join(dir, "bad.replay")
+	run(t, "replay", "-record", "-model", "phold", "-mutation", "map-order", "-pes", "2", "-seed", "1", "-o", bad)
+	out = runExpectError(t, "replay", "-mode", "sequential", bad)
+	if !strings.Contains(out, "DIVERGES") {
+		t.Fatalf("mutated recording did not diverge:\n%s", out)
+	}
+	min := filepath.Join(dir, "bad.min.replay")
+	out = run(t, "replay", "-shrink", bad)
+	if !strings.Contains(out, "-> "+min) {
+		t.Fatalf("shrink output wrong:\n%s", out)
+	}
+	out = runExpectError(t, "replay", "-mode", "sequential", min)
+	if !strings.Contains(out, "DIVERGES") {
+		t.Fatalf("shrunken log no longer diverges:\n%s", out)
+	}
+
+	// Error paths: corrupt input and bad flags exit with a usage error.
+	junk := filepath.Join(dir, "junk.replay")
+	if err := os.WriteFile(junk, []byte("not a replay log"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runExpectError(t, "replay", junk)
+	runExpectError(t, "replay", "-mode", "warp9", clean)
+	runExpectError(t, "replay", "-record", "-model", "nonesuch", "-o", filepath.Join(dir, "x.replay"))
+	runExpectError(t, "replay")
 }

@@ -28,16 +28,17 @@ import (
 
 func main() {
 	var (
-		full     = flag.Bool("full", false, "run the pre-merge matrix instead of the CI smoke matrix")
-		models   = flag.String("models", "", "comma-separated models to run (default: matrix preset)")
-		engines  = flag.String("engines", "", "comma-separated engines: sequential,conservative,optimistic")
-		pes      = flag.String("pes", "", "comma-separated PE counts")
-		kps      = flag.String("kps", "", "comma-separated KP counts")
-		queues   = flag.String("queues", "", "comma-separated pending-queue kinds: heap,splay")
-		seeds    = flag.String("seeds", "", "comma-separated seeds")
-		faults   = flag.Bool("faults", true, "also run optimistic cells under the adversarial fault plan")
-		mutation = flag.String("mutation", "", "arm a seeded bug (self-test demo): broken-reverse or broken-priority")
-		verbose  = flag.Bool("v", false, "log every cell, not just failures")
+		full       = flag.Bool("full", false, "run the pre-merge matrix instead of the CI smoke matrix")
+		models     = flag.String("models", "", "comma-separated models to run (default: matrix preset)")
+		engines    = flag.String("engines", "", "comma-separated engines: sequential,conservative,optimistic")
+		pes        = flag.String("pes", "", "comma-separated PE counts")
+		kps        = flag.String("kps", "", "comma-separated KP counts")
+		queues     = flag.String("queues", "", "comma-separated pending-queue kinds: heap,splay")
+		seeds      = flag.String("seeds", "", "comma-separated seeds")
+		faults     = flag.Bool("faults", true, "also run optimistic cells under the adversarial fault plan")
+		mutation   = flag.String("mutation", "", "arm a seeded bug (self-test demo): broken-reverse or broken-priority")
+		autorecord = flag.String("autorecord", "", "directory for auto-recorded .replay artifacts of diverging optimistic cells (shrunk; see cmd/replay)")
+		verbose    = flag.Bool("v", false, "log every cell, not just failures")
 	)
 	prof := profiling.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -84,6 +85,7 @@ func main() {
 	if !*faults {
 		m.Faults = []*core.Faults{nil}
 	}
+	m.AutoRecord = *autorecord
 	m.Mutation = simcheck.Mutation(*mutation)
 	if m.Mutation != simcheck.MutNone {
 		known := false
@@ -103,6 +105,9 @@ func main() {
 
 	for _, d := range rep.Divergences {
 		fmt.Fprintln(os.Stderr, d)
+	}
+	for _, a := range rep.Artifacts {
+		fmt.Printf("simcheck: replay artifact %s (inspect with: replay -dump %s)\n", a, a)
 	}
 	fmt.Printf("simcheck: %d cells, %d divergences, %d forced rollbacks injected\n",
 		rep.Cells, len(rep.Divergences), rep.ForcedRollbacks)

@@ -197,6 +197,9 @@ func (pe *PE) maybeForceRollback(executed int) {
 		depth = live
 	}
 	key := kp.processed[len(kp.processed)-depth].key()
-	pe.rollback(kp, key)
+	n := pe.rollback(kp, key)
 	pe.forcedRollbacks++
+	if rec := pe.sim.cfg.Record; rec != nil {
+		rec.Rollback(pe.id, kp.id, n, false, true)
+	}
 }

@@ -156,6 +156,9 @@ func (pe *PE) gvtRound() (bool, error) {
 		if hook := s.cfg.OnGVT; hook != nil {
 			hook(gvt)
 		}
+		if rec := s.cfg.Record; rec != nil {
+			rec.GVTRound(s.gvtRounds, gvt)
+		}
 		if gvt >= s.cfg.EndTime {
 			s.finished.Store(true)
 		}

@@ -217,8 +217,13 @@ func (pe *PE) flushMail(force bool) {
 // needs — holds structurally.
 func (pe *PE) drainMailbox() {
 	msgs := pe.batch[:0]
+	rec := pe.sim.cfg.Record
 	for i := range pe.lanes {
+		before := len(msgs)
 		msgs = pe.lanes[i].drain(msgs)
+		if rec != nil && len(msgs) > before {
+			rec.MailBatch(pe.id, i, len(msgs)-before)
+		}
 	}
 	pe.batch = msgs
 	if len(msgs) == 0 {

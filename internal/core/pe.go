@@ -95,6 +95,9 @@ func (pe *PE) insert(ev *Event) {
 		if hook := pe.sim.cfg.OnRollback; hook != nil {
 			hook(kp.id, n, false)
 		}
+		if rec := pe.sim.cfg.Record; rec != nil {
+			rec.Rollback(pe.id, kp.id, n, false, false)
+		}
 	}
 	ev.state = statePending
 	pe.pending.Push(ev)
@@ -115,6 +118,9 @@ func (pe *PE) cancelLocal(ev *Event) {
 		pe.secondaryRollbacks++
 		if hook := pe.sim.cfg.OnRollback; hook != nil {
 			hook(kp.id, n, true)
+		}
+		if rec := pe.sim.cfg.Record; rec != nil {
+			rec.Rollback(pe.id, kp.id, n, true, false)
 		}
 		// The rollback returned the event to pending; discard it there.
 		ev.state = stateCanceled

@@ -21,6 +21,7 @@ type Sequential struct {
 	lps     []*LP
 	pending eventq.Queue[*Event]
 	pool    eventPool
+	boot    []*Event
 	bootSeq uint64
 	ran     bool
 
@@ -81,8 +82,25 @@ func (q *Sequential) Schedule(dst LPID, t Time, data any) {
 	}
 	ev := &Event{recvTime: t, dst: dst, src: NoLP, seq: q.bootSeq, Data: data}
 	q.bootSeq++
-	ev.state = statePending
-	q.pending.Push(ev)
+	q.boot = append(q.boot, ev)
+}
+
+// ForEachBootstrap visits every bootstrap event scheduled so far, in
+// schedule order; same semantics as Simulator.ForEachBootstrap.
+func (q *Sequential) ForEachBootstrap(fn func(dst LPID, t Time, data any)) {
+	for _, ev := range q.boot {
+		fn(ev.dst, ev.recvTime, ev.Data)
+	}
+}
+
+// DropBootstrap discards the bootstrap events scheduled so far; same
+// semantics as Simulator.DropBootstrap.
+func (q *Sequential) DropBootstrap() {
+	if q.ran {
+		panic("core: DropBootstrap after Run")
+	}
+	q.boot = nil
+	q.bootSeq = 0
 }
 
 // scheduleNew implements engine: new events go straight into the queue.
@@ -115,6 +133,11 @@ func (q *Sequential) Run() (*Stats, error) {
 			return nil, fmt.Errorf("core: LP %d has no handler", lp.ID)
 		}
 	}
+	for _, ev := range q.boot {
+		ev.state = statePending
+		q.pending.Push(ev)
+	}
+	q.boot = nil
 	start := time.Now()
 	for {
 		ev, ok := q.pending.Min()

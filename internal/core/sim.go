@@ -78,6 +78,13 @@ type Config struct {
 	// must stay nil in production runs. Only the optimistic Simulator
 	// honours the plan.
 	Faults *Faults
+
+	// Record, when set, streams kernel occurrences (mail batches,
+	// rollbacks, GVT rounds) to the record/replay subsystem; see
+	// RecordSink. nil (the default) disables recording at the cost of one
+	// pointer test per site. Models build their own Config, so callers
+	// usually attach a sink afterwards via Simulator.SetRecord.
+	Record RecordSink
 }
 
 func (cfg *Config) setDefaults() error {
@@ -289,6 +296,37 @@ func (s *Simulator) Schedule(dst LPID, t Time, data any) {
 	ev := &Event{recvTime: t, dst: dst, src: NoLP, seq: s.bootSeq, Data: data}
 	s.bootSeq++
 	s.boot = append(s.boot, ev)
+}
+
+// SetRecord attaches a record sink (see Config.Record). It must be called
+// before Run; models construct the kernel Config internally, so this is
+// how the replay subsystem reaches a model-built simulator.
+func (s *Simulator) SetRecord(r RecordSink) {
+	if s.ran {
+		panic("core: SetRecord after Run")
+	}
+	s.cfg.Record = r
+}
+
+// ForEachBootstrap visits every bootstrap event scheduled so far, in
+// schedule (sequence) order. The replay subsystem uses it to harvest a
+// model's injections; data is the payload passed to Schedule and must not
+// be mutated.
+func (s *Simulator) ForEachBootstrap(fn func(dst LPID, t Time, data any)) {
+	for _, ev := range s.boot {
+		fn(ev.dst, ev.recvTime, ev.Data)
+	}
+}
+
+// DropBootstrap discards every bootstrap event scheduled so far and resets
+// the bootstrap sequence, so a recorded injection list can be re-scheduled
+// in its place (internal/replay). Only legal before Run.
+func (s *Simulator) DropBootstrap() {
+	if s.ran {
+		panic("core: DropBootstrap after Run")
+	}
+	s.boot = nil
+	s.bootSeq = 0
 }
 
 // GVT returns the last computed global virtual time.

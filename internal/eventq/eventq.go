@@ -37,7 +37,15 @@ func New[T any](kind string, less func(a, b T) bool) Queue[T] {
 	}
 }
 
-// Heap is a classic array-backed binary min-heap.
+// Heap is a classic array-backed binary min-heap. Elements comparing equal
+// pop in an order that is a pure function of the operation sequence — two
+// runs issuing identical Push/Pop sequences drain identically — but NOT
+// insertion order: sift-up and sift-down stop at equal elements, so a
+// rollback re-insertion can overtake an older equal. The kernel is immune
+// by construction (its comparator — recvTime, then destination, source and
+// sequence number — is a total order, so equal elements never occur), but
+// model-level users with partial keys must not read FIFO semantics into
+// ties; use the splay tree if insertion order among equals matters.
 type Heap[T any] struct {
 	less  func(a, b T) bool
 	items []T
@@ -122,10 +130,11 @@ func (h *Heap[T]) down(i int) {
 }
 
 // Splay is a bottom-less top-down splay tree keyed by the comparison
-// function. Equal elements are permitted; an element inserted equal to an
-// existing one lands on the right, so Pop returns equal elements in
-// insertion order (a property the kernel does not rely on — its comparator
-// is a total order — but which keeps behaviour predictable in tests).
+// function. Equal elements are permitted; an element inserted equal to
+// existing ones lands after ALL of them, so Pop returns equal elements in
+// insertion order — FIFO ties. The kernel does not rely on this (its
+// comparator is a total order, so ties never occur there), but models and
+// tests with partial keys get a contract they can reason about.
 type Splay[T any] struct {
 	less func(a, b T) bool
 	root *splayNode[T]
@@ -146,7 +155,13 @@ func NewSplay[T any](less func(a, b T) bool) *Splay[T] {
 func (s *Splay[T]) Len() int { return s.n }
 
 // splay reorganises the tree so that the node closest to v (by the tree's
-// ordering) becomes the root. Standard top-down splay.
+// ordering) becomes the root. Standard top-down splay, except that the
+// search treats an element equal to v as smaller and keeps descending
+// right. That guarantee is what makes Push's tie contract hold: after the
+// splay, every element <= v (equals included) sits in the root's left
+// spine or at the root itself, so the caller can splice a new equal node
+// in after ALL existing equals, not merely after whichever equal the
+// search happened to reach first.
 func (s *Splay[T]) splay(v T) {
 	if s.root == nil {
 		return
@@ -171,11 +186,11 @@ func (s *Splay[T]) splay(v T) {
 			r.left = t // link right
 			r = t
 			t = t.left
-		} else if s.less(t.v, v) {
+		} else { // t.v <= v: equals descend right too
 			if t.right == nil {
 				break
 			}
-			if s.less(t.right.v, v) { // rotate left
+			if !s.less(v, t.right.v) { // rotate left
 				y := t.right
 				t.right = y.left
 				y.left = t
@@ -187,8 +202,6 @@ func (s *Splay[T]) splay(v T) {
 			l.right = t // link left
 			l = t
 			t = t.right
-		} else {
-			break
 		}
 	}
 	l.right = t.left

@@ -1,0 +1,135 @@
+package eventq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// keyed is an element whose ordering ignores its identity, so tests can
+// observe what a queue does with ties.
+type keyed struct {
+	key int
+	id  int
+}
+
+func keyedLess(a, b keyed) bool { return a.key < b.key }
+
+// TestSplayTieFIFO pins the splay tree's documented tie contract: elements
+// comparing equal pop in insertion order, even when the equal run is
+// interleaved with other keys and partial drains (which reshape the tree
+// via splaying).
+func TestSplayTieFIFO(t *testing.T) {
+	q := NewSplay(keyedLess)
+	next := 0
+	push := func(key int) {
+		q.Push(keyed{key: key, id: next})
+		next++
+	}
+	// Three ties at key 5 (ids 0,1,2) wrapped in other keys...
+	push(9)
+	push(5)
+	push(5)
+	push(3)
+	push(5)
+	// ...drain past the smaller key to force splaying...
+	if v, _ := q.Pop(); v.key != 3 {
+		t.Fatalf("first pop key = %d, want 3", v.key)
+	}
+	// ...then add two more ties (ids 5,6) after the tree reshaped.
+	push(5)
+	push(5)
+	wantIDs := []int{1, 2, 4, 5, 6} // insertion order among the key-5 ties
+	for i, want := range wantIDs {
+		v, ok := q.Pop()
+		if !ok || v.key != 5 {
+			t.Fatalf("pop %d: got (%+v, %v), want a key-5 element", i, v, ok)
+		}
+		if v.id != want {
+			t.Fatalf("tie order violated at pop %d: got id %d, want %d", i, v.id, want)
+		}
+	}
+	if v, ok := q.Pop(); !ok || v.key != 9 {
+		t.Fatalf("last pop = (%+v, %v), want key 9", v, ok)
+	}
+}
+
+// TestHeapTieDeterministic pins the heap's (weaker) documented contract:
+// the drain order of equal elements is a pure function of the operation
+// sequence. Two queues fed the identical randomized Push/Pop schedule must
+// produce bitwise-identical drains — if sift order ever consulted anything
+// beyond the array state (map iteration, addresses, randomness), this
+// would flake immediately.
+func TestHeapTieDeterministic(t *testing.T) {
+	run := func() []keyed {
+		q := NewHeap(keyedLess)
+		rng := rand.New(rand.NewSource(42))
+		var out []keyed
+		for i := 0; i < 2000; i++ {
+			// Heavy ties: only 8 distinct keys across 2000 elements.
+			q.Push(keyed{key: rng.Intn(8), id: i})
+			if rng.Intn(3) == 0 {
+				if v, ok := q.Pop(); ok {
+					out = append(out, v)
+				}
+			}
+		}
+		for {
+			v, ok := q.Pop()
+			if !ok {
+				return out
+			}
+			out = append(out, v)
+		}
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("drain lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("drain diverges at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestQueuesAgreeUnderTotalOrder: with a total order (the kernel's case —
+// ties cannot occur) both queues must drain identically, so the kernel's
+// committed schedule cannot depend on the -queue flag. This is the
+// queue-level half of simcheck's heap-vs-splay differential column.
+func TestQueuesAgreeUnderTotalOrder(t *testing.T) {
+	totalLess := func(a, b keyed) bool {
+		if a.key != b.key {
+			return a.key < b.key
+		}
+		return a.id < b.id // unique ids make the order total
+	}
+	drain := func(q Queue[keyed]) []keyed {
+		rng := rand.New(rand.NewSource(7))
+		var out []keyed
+		for i := 0; i < 1500; i++ {
+			q.Push(keyed{key: rng.Intn(16), id: i})
+			if rng.Intn(4) == 0 {
+				if v, ok := q.Pop(); ok {
+					out = append(out, v)
+				}
+			}
+		}
+		for {
+			v, ok := q.Pop()
+			if !ok {
+				return out
+			}
+			out = append(out, v)
+		}
+	}
+	a := drain(NewHeap(totalLess))
+	b := drain(NewSplay(totalLess))
+	if len(a) != len(b) {
+		t.Fatalf("drain lengths differ: heap %d vs splay %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("heap and splay disagree at %d under a total order: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package hotpotato
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/replay"
+	"repro/internal/routing"
+)
+
+// CodecName is the registered replay codec for hot-potato payloads.
+const CodecName = "hotpotato.v1"
+
+func init() {
+	replay.RegisterCodec(codec{})
+}
+
+// codec serialises *Msg payloads for the replay log. Only the semantic
+// fields (Kind and the Packet) travel: the Saved* scratch area is reverse-
+// computation state that is zero on any not-yet-executed event, which is
+// the only kind a recording holds.
+type codec struct{}
+
+func (codec) Name() string { return CodecName }
+
+func (codec) Encode(dst []byte, data any) ([]byte, error) {
+	if data == nil {
+		return append(dst, 0), nil
+	}
+	m, ok := data.(*Msg)
+	if !ok {
+		return nil, fmt.Errorf("hotpotato: cannot encode payload of type %T", data)
+	}
+	dst = append(dst, 1, byte(m.Kind), byte(m.P.Prio))
+	dst = binary.AppendVarint(dst, int64(m.P.Dst))
+	dst = binary.AppendVarint(dst, int64(m.P.Src))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(m.P.Jitter))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(float64(m.P.Born)))
+	dst = binary.AppendVarint(dst, m.P.CreatedStep)
+	dst = binary.AppendVarint(dst, int64(m.P.Dist))
+	dst = binary.AppendVarint(dst, int64(m.P.Hops))
+	return dst, nil
+}
+
+func (codec) Decode(src []byte) (any, error) {
+	if len(src) == 0 {
+		return nil, errors.New("hotpotato: empty payload")
+	}
+	if src[0] == 0 {
+		if len(src) != 1 {
+			return nil, errors.New("hotpotato: trailing bytes after nil payload")
+		}
+		return nil, nil
+	}
+	if src[0] != 1 || len(src) < 3 {
+		return nil, errors.New("hotpotato: malformed payload")
+	}
+	m := &Msg{Kind: Kind(src[1]), P: Packet{Prio: routing.State(src[2])}}
+	if m.Kind > KindHeartbeat {
+		return nil, fmt.Errorf("hotpotato: unknown event kind %d", src[1])
+	}
+	if m.P.Prio > routing.Running {
+		return nil, fmt.Errorf("hotpotato: unknown priority state %d", src[2])
+	}
+	off := 3
+	varint := func() (int64, error) {
+		v, n := binary.Varint(src[off:])
+		if n <= 0 {
+			return 0, errors.New("hotpotato: truncated payload")
+		}
+		off += n
+		return v, nil
+	}
+	f64 := func() (float64, error) {
+		if len(src)-off < 8 {
+			return 0, errors.New("hotpotato: truncated payload")
+		}
+		f := math.Float64frombits(binary.LittleEndian.Uint64(src[off:]))
+		off += 8
+		if math.IsNaN(f) {
+			return 0, errors.New("hotpotato: NaN in payload")
+		}
+		return f, nil
+	}
+	dst, err := varint()
+	if err != nil {
+		return nil, err
+	}
+	srcLP, err := varint()
+	if err != nil {
+		return nil, err
+	}
+	if dst < math.MinInt32 || dst > math.MaxInt32 || srcLP < math.MinInt32 || srcLP > math.MaxInt32 {
+		return nil, errors.New("hotpotato: LP id out of range in payload")
+	}
+	m.P.Dst, m.P.Src = core.LPID(dst), core.LPID(srcLP)
+	if m.P.Jitter, err = f64(); err != nil {
+		return nil, err
+	}
+	born, err := f64()
+	if err != nil {
+		return nil, err
+	}
+	m.P.Born = core.Time(born)
+	if m.P.CreatedStep, err = varint(); err != nil {
+		return nil, err
+	}
+	dist, err := varint()
+	if err != nil {
+		return nil, err
+	}
+	hops, err := varint()
+	if err != nil {
+		return nil, err
+	}
+	if dist < math.MinInt32 || dist > math.MaxInt32 || hops < math.MinInt32 || hops > math.MaxInt32 {
+		return nil, errors.New("hotpotato: counter out of range in payload")
+	}
+	m.P.Dist, m.P.Hops = int32(dist), int32(hops)
+	if off != len(src) {
+		return nil, errors.New("hotpotato: trailing bytes in payload")
+	}
+	return m, nil
+}

@@ -1,0 +1,35 @@
+package phold
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/replay"
+)
+
+// CodecName is the registered replay codec for PHOLD payloads.
+const CodecName = "phold.v1"
+
+func init() {
+	replay.RegisterCodec(codec{})
+}
+
+// codec serialises PHOLD payloads, which are always nil (jobs carry no
+// data); the encoding is the empty byte string.
+type codec struct{}
+
+func (codec) Name() string { return CodecName }
+
+func (codec) Encode(dst []byte, data any) ([]byte, error) {
+	if data != nil {
+		return nil, fmt.Errorf("phold: cannot encode payload of type %T (PHOLD events carry nil)", data)
+	}
+	return dst, nil
+}
+
+func (codec) Decode(src []byte) (any, error) {
+	if len(src) != 0 {
+		return nil, errors.New("phold: non-empty payload (PHOLD events carry nil)")
+	}
+	return nil, nil
+}

@@ -1,0 +1,59 @@
+package qnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/replay"
+)
+
+// CodecName is the registered replay codec for qnet payloads.
+const CodecName = "qnet.v1"
+
+func init() {
+	replay.RegisterCodec(codec{})
+}
+
+// codec serialises *Msg payloads for the replay log: the event kind plus
+// the enqueue timestamp Depart events carry.
+type codec struct{}
+
+func (codec) Name() string { return CodecName }
+
+func (codec) Encode(dst []byte, data any) ([]byte, error) {
+	if data == nil {
+		return append(dst, 0), nil
+	}
+	m, ok := data.(*Msg)
+	if !ok {
+		return nil, fmt.Errorf("qnet: cannot encode payload of type %T", data)
+	}
+	dst = append(dst, 1, byte(m.Kind))
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(float64(m.EnqueuedAt))), nil
+}
+
+func (codec) Decode(src []byte) (any, error) {
+	if len(src) == 0 {
+		return nil, errors.New("qnet: empty payload")
+	}
+	if src[0] == 0 {
+		if len(src) != 1 {
+			return nil, errors.New("qnet: trailing bytes after nil payload")
+		}
+		return nil, nil
+	}
+	if src[0] != 1 || len(src) != 10 {
+		return nil, errors.New("qnet: malformed payload")
+	}
+	if Kind(src[1]) > KindDepart {
+		return nil, fmt.Errorf("qnet: unknown event kind %d", src[1])
+	}
+	t := math.Float64frombits(binary.LittleEndian.Uint64(src[2:]))
+	if math.IsNaN(t) {
+		return nil, errors.New("qnet: NaN timestamp in payload")
+	}
+	return &Msg{Kind: Kind(src[1]), EnqueuedAt: core.Time(t)}, nil
+}

@@ -1,0 +1,60 @@
+package replay
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Codec serialises one model's event payloads into the binary log and back.
+// Encode and Decode must be inverses up to semantic equality: a decoded
+// payload scheduled into a fresh build must drive the model exactly as the
+// original did. Scratch fields (reverse-computation save areas) should be
+// omitted — bootstrap payloads have not executed yet, so theirs are zero
+// anyway. Decode gets attacker-grade input (logs come from disk) and must
+// return an error, never panic, on malformed bytes.
+type Codec interface {
+	// Name is the registry key recorded in a log's Spec.
+	Name() string
+	// Encode appends data's serialization to dst and returns the extended
+	// slice. It must handle every payload the model schedules, including
+	// nil.
+	Encode(dst []byte, data any) ([]byte, error)
+	// Decode parses one payload previously produced by Encode. The input
+	// is exactly one Encode output (framing is the log's concern).
+	Decode(src []byte) (any, error)
+}
+
+// codecs is the global registry. Writes happen only from package init
+// functions (models register themselves on import), reads only afterwards,
+// so no locking is needed.
+var codecs = map[string]Codec{}
+
+// RegisterCodec adds a codec to the registry; it panics on a duplicate
+// name. Call it from the model package's init so importing the model makes
+// its logs replayable.
+func RegisterCodec(c Codec) {
+	name := c.Name()
+	if _, dup := codecs[name]; dup {
+		panic(fmt.Sprintf("replay: codec %q registered twice", name))
+	}
+	codecs[name] = c
+}
+
+// CodecFor looks up a registered codec by name.
+func CodecFor(name string) (Codec, error) {
+	c, ok := codecs[name]
+	if !ok {
+		return nil, fmt.Errorf("replay: no codec %q registered (have %v)", name, CodecNames())
+	}
+	return c, nil
+}
+
+// CodecNames returns the registered codec names, sorted.
+func CodecNames() []string {
+	names := make([]string, 0, len(codecs))
+	for name := range codecs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,122 @@
+package replay
+
+import (
+	"fmt"
+	"io"
+)
+
+// dumpCap is how many entries each -dump section prints without verbose.
+const dumpCap = 16
+
+// Dump writes a human-readable timeline of a log: the spec, the recorded
+// injections (payloads decoded through the spec's codec when registered),
+// each PE's mail and rollback stream, the GVT rounds, and the final
+// fingerprint. verbose lifts the per-section entry cap.
+func Dump(w io.Writer, lg *Log, verbose bool) error {
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	limit := dumpCap
+	if verbose {
+		limit = int(^uint(0) >> 1)
+	}
+
+	s := lg.Spec
+	if err := p("replay log v%d: model=%s codec=%s queue=%s pes=%d kps=%d seed=%d end=%v batch=%d gvt-interval=%d\n",
+		logVersion, s.Model, s.Codec, s.Queue, s.PEs, s.KPs, s.Seed, s.EndTime, s.BatchSize, s.GVTInterval); err != nil {
+		return err
+	}
+	if s.Mutation != "" {
+		if err := p("mutation: %s\n", s.Mutation); err != nil {
+			return err
+		}
+	}
+	if s.Faults != nil {
+		if err := p("faults: %+v\n", *s.Faults); err != nil {
+			return err
+		}
+	}
+
+	codec, codecErr := CodecFor(s.Codec)
+	if err := p("injections: %d\n", len(lg.Inject)); err != nil {
+		return err
+	}
+	for i, in := range lg.Inject {
+		if i >= limit {
+			if err := p("  ... %d more (use -v)\n", len(lg.Inject)-limit); err != nil {
+				return err
+			}
+			break
+		}
+		payload := fmt.Sprintf("%d bytes", len(in.Data))
+		if codecErr == nil {
+			if data, err := codec.Decode(in.Data); err == nil {
+				payload = fmt.Sprintf("%+v", data)
+			} else {
+				payload = fmt.Sprintf("undecodable (%v)", err)
+			}
+		}
+		if err := p("  t=%-12v lp=%-4d %s\n", in.T, in.Dst, payload); err != nil {
+			return err
+		}
+	}
+
+	for _, pl := range lg.PEs {
+		msgs := 0
+		for _, mb := range pl.Mail {
+			msgs += mb.N
+		}
+		var prim, sec, forced int
+		for _, rb := range pl.Rollbacks {
+			switch {
+			case rb.Forced:
+				forced++
+			case rb.Secondary:
+				sec++
+			default:
+				prim++
+			}
+		}
+		if err := p("PE %d: %d mail batches (%d messages), %d rollbacks (%d primary, %d secondary, %d forced)\n",
+			pl.PE, len(pl.Mail), msgs, len(pl.Rollbacks), prim, sec, forced); err != nil {
+			return err
+		}
+		if verbose {
+			for _, mb := range pl.Mail {
+				if err := p("  mail from PE %d: %d messages\n", mb.Src, mb.N); err != nil {
+					return err
+				}
+			}
+			for _, rb := range pl.Rollbacks {
+				kind := "primary"
+				if rb.Forced {
+					kind = "forced"
+				} else if rb.Secondary {
+					kind = "secondary"
+				}
+				if err := p("  rollback kp=%d events=%d %s\n", rb.KP, rb.Events, kind); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	if err := p("rounds: %d\n", len(lg.Rounds)); err != nil {
+		return err
+	}
+	for i, rd := range lg.Rounds {
+		if i >= limit {
+			if err := p("  ... %d more (use -v)\n", len(lg.Rounds)-limit); err != nil {
+				return err
+			}
+			break
+		}
+		if err := p("  round %-3d gvt=%-12v prefix=%016x\n", i, rd.GVT, rd.TraceHash); err != nil {
+			return err
+		}
+	}
+
+	return p("final: committed=%d trace-len=%d trace=%016x state=%016x\n",
+		lg.Final.Committed, lg.Final.TraceLen, lg.Final.TraceHash, lg.Final.StateHash)
+}

@@ -1,0 +1,38 @@
+package replay
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReplayCodec holds Decode to its contract: arbitrary input — including
+// truncated, bit-flipped and adversarially structured frames — must either
+// decode or return an error. Never a panic, never an outsized allocation
+// (the count() guards), and anything accepted must be canonical: re-encoding
+// reproduces the accepted bytes, and the re-encoded form decodes to the
+// same log again.
+func FuzzReplayCodec(f *testing.F) {
+	full := Encode(sampleLog())
+	f.Add(full)
+	f.Add(full[:len(full)/2])
+	f.Add(Encode(&Log{Spec: Spec{Model: "m", Codec: "c", Queue: "heap"}}))
+	f.Add([]byte(nil))
+	f.Add([]byte("GTWR"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lg, err := Decode(data)
+		if err != nil {
+			return
+		}
+		enc := Encode(lg)
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("accepted input is not canonical: %d in, %d re-encoded", len(data), len(enc))
+		}
+		lg2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-encoded log fails to decode: %v", err)
+		}
+		if !bytes.Equal(Encode(lg2), enc) {
+			t.Fatal("encode/decode is not a fixpoint")
+		}
+	})
+}

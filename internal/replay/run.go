@@ -1,0 +1,226 @@
+package replay
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// Engine selects how a log is re-executed.
+type Engine string
+
+// The replayable engines. Verify mode re-runs the optimistic kernel;
+// sequential mode is the oracle the differential harness compares against.
+const (
+	EngineOptimistic Engine = "optimistic"
+	EngineSequential Engine = "sequential"
+)
+
+// Instance is one built simulation handed to the replay driver by a
+// Runner: the host for scheduling and state hashing, the run entry point,
+// the commit-time trace recorder the driver fingerprints, and the
+// bootstrap/record access points the driver needs.
+type Instance struct {
+	Host core.Host
+	Run  func() (*core.Stats, error)
+	// Trace receives every committed event; must be unbounded so the
+	// fingerprints cover the whole run.
+	Trace  *trace.Recorder
+	NumLPs int
+	// NumPEs is the engine's processing-element count after any topology
+	// re-clamping (1 for sequential).
+	NumPEs int
+	// EndTime is the resolved virtual-time horizon (models may quantize a
+	// requested horizon, e.g. hot-potato's integer steps).
+	EndTime core.Time
+	// Bootstrap visits the model's own bootstrap injections in schedule
+	// order; used once, at record time, to harvest them.
+	Bootstrap func(fn func(dst core.LPID, t core.Time, data any))
+	// SetRecord attaches a kernel record sink; nil for engines that cannot
+	// record (sequential).
+	SetRecord func(core.RecordSink)
+}
+
+// Runner rebuilds a simulation from a Spec. bootstrap=false builds with
+// the model's own bootstrap events dropped, so the driver can schedule a
+// recorded injection list in their place; everything else (handlers,
+// state, RNG streams) must be identical either way. internal/simcheck
+// provides the Runner for the bundled models.
+type Runner interface {
+	Build(spec Spec, eng Engine, bootstrap bool) (*Instance, error)
+}
+
+// Record builds spec's model once to harvest its bootstrap injections,
+// then records one optimistic run of those injections and returns the log.
+// Using the same injection-driven path as Replay (rather than a special
+// record-time path) means record and replay cannot drift apart.
+func Record(r Runner, spec Spec) (*Log, error) {
+	inst, err := r.Build(spec, EngineOptimistic, true)
+	if err != nil {
+		return nil, err
+	}
+	if inst.Bootstrap == nil {
+		return nil, errors.New("replay: runner instance exposes no bootstrap events")
+	}
+	codec, err := CodecFor(spec.Codec)
+	if err != nil {
+		return nil, err
+	}
+	var inj []Injection
+	var encErr error
+	inst.Bootstrap(func(dst core.LPID, t core.Time, data any) {
+		if encErr != nil {
+			return
+		}
+		b, err := codec.Encode(nil, data)
+		if err != nil {
+			encErr = fmt.Errorf("replay: encoding bootstrap payload for LP %d: %w", dst, err)
+			return
+		}
+		inj = append(inj, Injection{T: t, Dst: dst, Data: b})
+	})
+	if encErr != nil {
+		return nil, encErr
+	}
+	spec.EndTime = inst.EndTime
+	out, err := run(r, spec, inj, EngineOptimistic)
+	if err != nil {
+		return nil, err
+	}
+	if out.Recorded == nil {
+		return nil, errors.New("replay: runner instance does not support recording")
+	}
+	return out.Recorded, nil
+}
+
+// Replay re-executes log's injections under eng and compares fingerprints
+// against the recording. It returns the mismatches (empty means the run
+// reproduced the recording exactly); err covers runs that could not be
+// built or crashed.
+func Replay(r Runner, lg *Log, eng Engine) ([]string, error) {
+	out, err := run(r, lg.Spec, lg.Inject, eng)
+	if err != nil {
+		return nil, err
+	}
+	return compareToLog(lg, out), nil
+}
+
+// outcome is one re-executed run: its trace, final fingerprint, and — for
+// recording-capable engines — a fresh Log of the run itself.
+type outcome struct {
+	Trace    *trace.Recorder
+	Final    Fingerprint
+	Recorded *Log
+}
+
+// run builds spec without model bootstrap, schedules the injections, runs,
+// and fingerprints the result.
+func run(r Runner, spec Spec, inj []Injection, eng Engine) (*outcome, error) {
+	inst, err := r.Build(spec, eng, false)
+	if err != nil {
+		return nil, err
+	}
+	if inst.Trace == nil {
+		return nil, errors.New("replay: runner instance has no trace recorder")
+	}
+	if inst.EndTime > 0 {
+		// Keep the spec (and any log finalized from this run) carrying the
+		// model's resolved horizon, not the requested one.
+		spec.EndTime = inst.EndTime
+	}
+	codec, err := CodecFor(spec.Codec)
+	if err != nil {
+		return nil, err
+	}
+	for i, in := range inj {
+		if in.Dst < 0 || int(in.Dst) >= inst.NumLPs {
+			return nil, fmt.Errorf("replay: injection %d targets LP %d, model has %d", i, in.Dst, inst.NumLPs)
+		}
+		if !(in.T >= 0) {
+			return nil, fmt.Errorf("replay: injection %d has invalid time %v", i, in.T)
+		}
+		data, err := codec.Decode(in.Data)
+		if err != nil {
+			return nil, fmt.Errorf("replay: decoding injection %d: %w", i, err)
+		}
+		inst.Host.Schedule(in.Dst, in.T, data)
+	}
+	var rec *Recorder
+	if eng == EngineOptimistic && inst.SetRecord != nil {
+		rec = NewRecorder(inst.NumPEs)
+		inst.SetRecord(rec)
+	}
+	stats, err := inst.Run()
+	if err != nil {
+		return nil, err
+	}
+	fp := Fingerprint{
+		Committed: stats.Committed,
+		TraceLen:  inst.Trace.Len(),
+		TraceHash: inst.Trace.Hash(),
+		StateHash: trace.StateHash(inst.Host),
+	}
+	out := &outcome{Trace: inst.Trace, Final: fp}
+	if rec != nil {
+		out.Recorded = rec.finalize(spec, inj, inst.Trace, fp)
+	}
+	return out, nil
+}
+
+// compareFingerprints returns the fields where got differs from ref.
+func compareFingerprints(ref, got Fingerprint) []string {
+	var diffs []string
+	if ref.Committed != got.Committed {
+		diffs = append(diffs, fmt.Sprintf("committed events: recorded=%d replay=%d", ref.Committed, got.Committed))
+	}
+	if ref.TraceLen != got.TraceLen {
+		diffs = append(diffs, fmt.Sprintf("trace length: recorded=%d replay=%d", ref.TraceLen, got.TraceLen))
+	}
+	if ref.TraceHash != got.TraceHash {
+		diffs = append(diffs, fmt.Sprintf("trace hash: recorded=%016x replay=%016x", ref.TraceHash, got.TraceHash))
+	}
+	if ref.StateHash != got.StateHash {
+		diffs = append(diffs, fmt.Sprintf("final state hash: recorded=%016x replay=%016x", ref.StateHash, got.StateHash))
+	}
+	return diffs
+}
+
+// compareToLog checks a replay outcome against a recording: the final
+// fingerprint, plus the recorded per-GVT-round horizons evaluated as
+// prefix hashes of the replay's own committed trace. The horizons transfer
+// between runs (and even engines) because a prefix hash depends only on
+// the committed history and the horizon value, not on where this run's
+// rounds happened to land.
+func compareToLog(lg *Log, out *outcome) []string {
+	diffs := compareFingerprints(lg.Final, out.Final)
+	for i := 1; i < len(lg.Rounds); i++ {
+		if lg.Rounds[i].GVT < lg.Rounds[i-1].GVT {
+			return append(diffs, "recorded GVT sequence is not nondecreasing — corrupt log?")
+		}
+	}
+	if len(lg.Rounds) == 0 {
+		return diffs
+	}
+	horizons := make([]core.Time, len(lg.Rounds))
+	for i, rd := range lg.Rounds {
+		horizons[i] = rd.GVT
+	}
+	fps := out.Trace.PrefixHashes(horizons)
+	bad := 0
+	for i, rd := range lg.Rounds {
+		if fps[i] != rd.TraceHash {
+			if bad < 4 {
+				diffs = append(diffs, fmt.Sprintf(
+					"round %d (gvt=%v): trace prefix hash recorded=%016x replay=%016x",
+					i, rd.GVT, rd.TraceHash, fps[i]))
+			}
+			bad++
+		}
+	}
+	if bad > 4 {
+		diffs = append(diffs, fmt.Sprintf("... %d of %d rounds diverge", bad, len(lg.Rounds)))
+	}
+	return diffs
+}

@@ -1,0 +1,635 @@
+package replay
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+
+	"repro/internal/core"
+)
+
+// Binary log format (documented in docs/REPLAY.md). A log is a sequence of
+// CRC-framed sections:
+//
+//	frame := type:1 | payloadLen:uvarint | payload | crc32(payload):4 LE
+//
+// The header frame must come first and the end frame last; inject, pe,
+// rounds and final frames appear between them (inject/rounds/final at most
+// once, one pe frame per PE). Integers are uvarints, signed deltas are
+// zigzag varints, hashes and float bit patterns are fixed 8-byte LE.
+// Decode is total: malformed input of any kind — truncation, bad CRC, bad
+// magic, absurd counts — yields an error, never a panic or an outsized
+// allocation (FuzzReplayCodec holds it to that).
+
+const (
+	logMagic   = "GTWR"
+	logVersion = 1
+
+	frameHeader byte = 1
+	frameInject byte = 2
+	framePE     byte = 3
+	frameRounds byte = 4
+	frameFinal  byte = 5
+	frameEnd    byte = 6
+
+	// maxName bounds decoded string fields; registry names are short.
+	maxName = 256
+)
+
+var errTruncated = errors.New("replay: truncated log")
+
+// ---- encoding ----
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendFrame(dst []byte, typ byte, payload []byte) []byte {
+	dst = append(dst, typ)
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	dst = append(dst, payload...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+}
+
+func appendHeader(dst []byte, s Spec) []byte {
+	p := []byte(logMagic)
+	p = binary.AppendUvarint(p, logVersion)
+	p = appendString(p, s.Model)
+	p = appendString(p, s.Codec)
+	p = appendString(p, s.Queue)
+	p = appendString(p, s.Mutation)
+	p = binary.AppendUvarint(p, uint64(s.PEs))
+	p = binary.AppendUvarint(p, uint64(s.KPs))
+	p = binary.AppendUvarint(p, uint64(s.BatchSize))
+	p = binary.AppendUvarint(p, uint64(s.GVTInterval))
+	p = binary.AppendUvarint(p, s.Seed)
+	p = binary.LittleEndian.AppendUint64(p, math.Float64bits(float64(s.EndTime)))
+	if f := s.Faults; f != nil {
+		p = append(p, 1)
+		p = binary.AppendUvarint(p, f.Seed)
+		p = binary.AppendUvarint(p, uint64(f.RollbackEvery))
+		p = binary.AppendUvarint(p, uint64(f.RollbackDepth))
+		p = binary.AppendUvarint(p, uint64(f.GVTDelay))
+		p = binary.AppendUvarint(p, uint64(f.MailBurst))
+		p = binary.AppendUvarint(p, uint64(f.ThrottlePEs))
+		p = binary.AppendUvarint(p, uint64(f.ThrottleBatch))
+		if f.ShuffleMail {
+			p = append(p, 1)
+		} else {
+			p = append(p, 0)
+		}
+	} else {
+		p = append(p, 0)
+	}
+	return appendFrame(dst, frameHeader, p)
+}
+
+func appendInject(dst []byte, inj []Injection) []byte {
+	p := binary.AppendUvarint(nil, uint64(len(inj)))
+	var prevDst int64
+	var prevBits uint64
+	for _, in := range inj {
+		p = binary.AppendVarint(p, int64(in.Dst)-prevDst)
+		prevDst = int64(in.Dst)
+		bits := math.Float64bits(float64(in.T))
+		p = binary.AppendVarint(p, int64(bits-prevBits))
+		prevBits = bits
+		p = binary.AppendUvarint(p, uint64(len(in.Data)))
+		p = append(p, in.Data...)
+	}
+	return appendFrame(dst, frameInject, p)
+}
+
+func appendPE(dst []byte, pl PELog) []byte {
+	p := binary.AppendUvarint(nil, uint64(pl.PE))
+	p = binary.AppendUvarint(p, uint64(len(pl.Mail)))
+	for _, mb := range pl.Mail {
+		p = binary.AppendUvarint(p, uint64(mb.Src))
+		p = binary.AppendUvarint(p, uint64(mb.N))
+	}
+	p = binary.AppendUvarint(p, uint64(len(pl.Rollbacks)))
+	for _, rb := range pl.Rollbacks {
+		p = binary.AppendUvarint(p, uint64(rb.KP))
+		p = binary.AppendUvarint(p, uint64(rb.Events))
+		var flags byte
+		if rb.Secondary {
+			flags |= 1
+		}
+		if rb.Forced {
+			flags |= 2
+		}
+		p = append(p, flags)
+	}
+	return appendFrame(dst, framePE, p)
+}
+
+func appendRounds(dst []byte, rounds []Round) []byte {
+	p := binary.AppendUvarint(nil, uint64(len(rounds)))
+	var prevBits uint64
+	for _, rd := range rounds {
+		bits := math.Float64bits(float64(rd.GVT))
+		p = binary.AppendVarint(p, int64(bits-prevBits))
+		prevBits = bits
+		p = binary.LittleEndian.AppendUint64(p, rd.TraceHash)
+	}
+	return appendFrame(dst, frameRounds, p)
+}
+
+func appendFinal(dst []byte, fp Fingerprint) []byte {
+	p := binary.AppendUvarint(nil, uint64(fp.Committed))
+	p = binary.AppendUvarint(p, uint64(fp.TraceLen))
+	p = binary.LittleEndian.AppendUint64(p, fp.TraceHash)
+	p = binary.LittleEndian.AppendUint64(p, fp.StateHash)
+	return appendFrame(dst, frameFinal, p)
+}
+
+// Encode serialises a log into the framed binary format.
+func Encode(lg *Log) []byte {
+	dst := appendHeader(nil, lg.Spec)
+	dst = appendInject(dst, lg.Inject)
+	for _, pl := range lg.PEs {
+		dst = appendPE(dst, pl)
+	}
+	dst = appendRounds(dst, lg.Rounds)
+	dst = appendFinal(dst, lg.Final)
+	return appendFrame(dst, frameEnd, nil)
+}
+
+// WriteFile encodes lg to path.
+func WriteFile(path string, lg *Log) error {
+	return os.WriteFile(path, Encode(lg), 0o644)
+}
+
+// ---- decoding ----
+
+// cursor is a bounds-checked reader over one frame payload.
+type cursor struct {
+	buf []byte
+	off int
+}
+
+func (c *cursor) remaining() int { return len(c.buf) - c.off }
+
+func (c *cursor) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(c.buf[c.off:])
+	if n <= 0 {
+		return 0, errTruncated
+	}
+	c.off += n
+	return v, nil
+}
+
+func (c *cursor) varint() (int64, error) {
+	v, n := binary.Varint(c.buf[c.off:])
+	if n <= 0 {
+		return 0, errTruncated
+	}
+	c.off += n
+	return v, nil
+}
+
+func (c *cursor) u64() (uint64, error) {
+	if c.remaining() < 8 {
+		return 0, errTruncated
+	}
+	v := binary.LittleEndian.Uint64(c.buf[c.off:])
+	c.off += 8
+	return v, nil
+}
+
+func (c *cursor) byte() (byte, error) {
+	if c.remaining() < 1 {
+		return 0, errTruncated
+	}
+	b := c.buf[c.off]
+	c.off++
+	return b, nil
+}
+
+func (c *cursor) bytes(n uint64) ([]byte, error) {
+	if n > uint64(c.remaining()) {
+		return nil, errTruncated
+	}
+	out := c.buf[c.off : c.off+int(n)]
+	c.off += int(n)
+	return out, nil
+}
+
+func (c *cursor) str() (string, error) {
+	n, err := c.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > maxName {
+		return "", fmt.Errorf("replay: string field of %d bytes exceeds limit", n)
+	}
+	b, err := c.bytes(n)
+	return string(b), err
+}
+
+// count reads an element count and rejects counts that cannot fit in the
+// remaining payload at minBytes per element, so a corrupt count can never
+// drive an outsized allocation.
+func (c *cursor) count(minBytes int) (int, error) {
+	v, err := c.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(c.remaining()/minBytes) {
+		return 0, fmt.Errorf("replay: count %d exceeds payload", v)
+	}
+	return int(v), nil
+}
+
+// intField reads a uvarint that must fit in an int.
+func (c *cursor) intField() (int, error) {
+	v, err := c.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > math.MaxInt32 {
+		return 0, fmt.Errorf("replay: integer field %d out of range", v)
+	}
+	return int(v), nil
+}
+
+func timeFromBits(bits uint64) (core.Time, error) {
+	f := math.Float64frombits(bits)
+	if math.IsNaN(f) {
+		return 0, errors.New("replay: NaN time in log")
+	}
+	return core.Time(f), nil
+}
+
+func decodeHeader(p []byte) (Spec, error) {
+	c := &cursor{buf: p}
+	var s Spec
+	m, err := c.bytes(uint64(len(logMagic)))
+	if err != nil {
+		return s, err
+	}
+	if string(m) != logMagic {
+		return s, errors.New("replay: bad magic (not a .replay log)")
+	}
+	ver, err := c.uvarint()
+	if err != nil {
+		return s, err
+	}
+	if ver != logVersion {
+		return s, fmt.Errorf("replay: unsupported log version %d (want %d)", ver, logVersion)
+	}
+	if s.Model, err = c.str(); err != nil {
+		return s, err
+	}
+	if s.Codec, err = c.str(); err != nil {
+		return s, err
+	}
+	if s.Queue, err = c.str(); err != nil {
+		return s, err
+	}
+	if s.Mutation, err = c.str(); err != nil {
+		return s, err
+	}
+	if s.PEs, err = c.intField(); err != nil {
+		return s, err
+	}
+	if s.KPs, err = c.intField(); err != nil {
+		return s, err
+	}
+	if s.BatchSize, err = c.intField(); err != nil {
+		return s, err
+	}
+	if s.GVTInterval, err = c.intField(); err != nil {
+		return s, err
+	}
+	if s.Seed, err = c.uvarint(); err != nil {
+		return s, err
+	}
+	bits, err := c.u64()
+	if err != nil {
+		return s, err
+	}
+	if s.EndTime, err = timeFromBits(bits); err != nil {
+		return s, err
+	}
+	present, err := c.byte()
+	if err != nil {
+		return s, err
+	}
+	switch present {
+	case 0:
+	case 1:
+		f := &core.Faults{}
+		if f.Seed, err = c.uvarint(); err != nil {
+			return s, err
+		}
+		if f.RollbackEvery, err = c.intField(); err != nil {
+			return s, err
+		}
+		if f.RollbackDepth, err = c.intField(); err != nil {
+			return s, err
+		}
+		if f.GVTDelay, err = c.intField(); err != nil {
+			return s, err
+		}
+		if f.MailBurst, err = c.intField(); err != nil {
+			return s, err
+		}
+		if f.ThrottlePEs, err = c.intField(); err != nil {
+			return s, err
+		}
+		if f.ThrottleBatch, err = c.intField(); err != nil {
+			return s, err
+		}
+		sm, err := c.byte()
+		if err != nil {
+			return s, err
+		}
+		if sm > 1 {
+			return s, fmt.Errorf("replay: bad ShuffleMail flag %d", sm)
+		}
+		f.ShuffleMail = sm == 1
+		s.Faults = f
+	default:
+		return s, fmt.Errorf("replay: bad faults-present flag %d", present)
+	}
+	if c.remaining() != 0 {
+		return s, errors.New("replay: trailing bytes in header frame")
+	}
+	return s, nil
+}
+
+func decodeInject(p []byte) ([]Injection, error) {
+	c := &cursor{buf: p}
+	n, err := c.count(3) // dst delta + time delta + payload len ≥ 3 bytes
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Injection, 0, n)
+	var prevDst int64
+	var prevBits uint64
+	for i := 0; i < n; i++ {
+		var in Injection
+		d, err := c.varint()
+		if err != nil {
+			return nil, err
+		}
+		prevDst += d
+		if prevDst < 0 || prevDst > math.MaxInt32 {
+			return nil, fmt.Errorf("replay: injection %d: LP %d out of range", i, prevDst)
+		}
+		in.Dst = core.LPID(prevDst)
+		db, err := c.varint()
+		if err != nil {
+			return nil, err
+		}
+		prevBits += uint64(db)
+		if in.T, err = timeFromBits(prevBits); err != nil {
+			return nil, err
+		}
+		if in.T < 0 {
+			return nil, fmt.Errorf("replay: injection %d has negative time", i)
+		}
+		sz, err := c.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		b, err := c.bytes(sz)
+		if err != nil {
+			return nil, err
+		}
+		if len(b) > 0 {
+			in.Data = append([]byte(nil), b...)
+		}
+		out = append(out, in)
+	}
+	if c.remaining() != 0 {
+		return nil, errors.New("replay: trailing bytes in inject frame")
+	}
+	return out, nil
+}
+
+func decodePE(p []byte) (PELog, error) {
+	c := &cursor{buf: p}
+	var pl PELog
+	var err error
+	if pl.PE, err = c.intField(); err != nil {
+		return pl, err
+	}
+	nm, err := c.count(2)
+	if err != nil {
+		return pl, err
+	}
+	if nm > 0 {
+		pl.Mail = make([]MailBatch, 0, nm)
+	}
+	for i := 0; i < nm; i++ {
+		var mb MailBatch
+		if mb.Src, err = c.intField(); err != nil {
+			return pl, err
+		}
+		if mb.N, err = c.intField(); err != nil {
+			return pl, err
+		}
+		pl.Mail = append(pl.Mail, mb)
+	}
+	nr, err := c.count(3)
+	if err != nil {
+		return pl, err
+	}
+	if nr > 0 {
+		pl.Rollbacks = make([]Rollback, 0, nr)
+	}
+	for i := 0; i < nr; i++ {
+		var rb Rollback
+		if rb.KP, err = c.intField(); err != nil {
+			return pl, err
+		}
+		if rb.Events, err = c.intField(); err != nil {
+			return pl, err
+		}
+		flags, err := c.byte()
+		if err != nil {
+			return pl, err
+		}
+		if flags > 3 {
+			return pl, fmt.Errorf("replay: bad rollback flags %#x", flags)
+		}
+		rb.Secondary = flags&1 != 0
+		rb.Forced = flags&2 != 0
+		pl.Rollbacks = append(pl.Rollbacks, rb)
+	}
+	if c.remaining() != 0 {
+		return pl, errors.New("replay: trailing bytes in pe frame")
+	}
+	return pl, nil
+}
+
+func decodeRounds(p []byte) ([]Round, error) {
+	c := &cursor{buf: p}
+	n, err := c.count(9) // gvt delta + fixed8 hash
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Round, 0, n)
+	var prevBits uint64
+	for i := 0; i < n; i++ {
+		var rd Round
+		db, err := c.varint()
+		if err != nil {
+			return nil, err
+		}
+		prevBits += uint64(db)
+		if rd.GVT, err = timeFromBits(prevBits); err != nil {
+			return nil, err
+		}
+		if rd.TraceHash, err = c.u64(); err != nil {
+			return nil, err
+		}
+		out = append(out, rd)
+	}
+	if c.remaining() != 0 {
+		return nil, errors.New("replay: trailing bytes in rounds frame")
+	}
+	return out, nil
+}
+
+func decodeFinal(p []byte) (Fingerprint, error) {
+	c := &cursor{buf: p}
+	var fp Fingerprint
+	committed, err := c.uvarint()
+	if err != nil {
+		return fp, err
+	}
+	if committed > math.MaxInt64 {
+		return fp, errors.New("replay: committed count out of range")
+	}
+	fp.Committed = int64(committed)
+	if fp.TraceLen, err = c.intField(); err != nil {
+		return fp, err
+	}
+	if fp.TraceHash, err = c.u64(); err != nil {
+		return fp, err
+	}
+	if fp.StateHash, err = c.u64(); err != nil {
+		return fp, err
+	}
+	if c.remaining() != 0 {
+		return fp, errors.New("replay: trailing bytes in final frame")
+	}
+	return fp, nil
+}
+
+// Decode parses a framed binary log. It never panics: any malformed input
+// returns an error.
+func Decode(buf []byte) (*Log, error) {
+	c := &cursor{buf: buf}
+	frame := func() (byte, []byte, error) {
+		typ, err := c.byte()
+		if err != nil {
+			return 0, nil, err
+		}
+		sz, err := c.uvarint()
+		if err != nil {
+			return 0, nil, err
+		}
+		if sz > uint64(c.remaining()) {
+			return 0, nil, errTruncated
+		}
+		payload, err := c.bytes(sz)
+		if err != nil {
+			return 0, nil, err
+		}
+		want, err := c.bytes(4)
+		if err != nil {
+			return 0, nil, err
+		}
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(want) {
+			return 0, nil, fmt.Errorf("replay: CRC mismatch in frame type %d", typ)
+		}
+		return typ, payload, nil
+	}
+
+	typ, payload, err := frame()
+	if err != nil {
+		return nil, err
+	}
+	if typ != frameHeader {
+		return nil, errors.New("replay: log does not start with a header frame")
+	}
+	lg := &Log{}
+	if lg.Spec, err = decodeHeader(payload); err != nil {
+		return nil, err
+	}
+	var sawInject, sawRounds, sawFinal, sawEnd bool
+	for !sawEnd {
+		typ, payload, err := frame()
+		if err != nil {
+			return nil, err
+		}
+		switch typ {
+		case frameInject:
+			if sawInject {
+				return nil, errors.New("replay: duplicate inject frame")
+			}
+			sawInject = true
+			if lg.Inject, err = decodeInject(payload); err != nil {
+				return nil, err
+			}
+		case framePE:
+			pl, err := decodePE(payload)
+			if err != nil {
+				return nil, err
+			}
+			if len(lg.PEs) > 0 && pl.PE <= lg.PEs[len(lg.PEs)-1].PE {
+				return nil, errors.New("replay: pe frames out of order")
+			}
+			lg.PEs = append(lg.PEs, pl)
+		case frameRounds:
+			if sawRounds {
+				return nil, errors.New("replay: duplicate rounds frame")
+			}
+			sawRounds = true
+			if lg.Rounds, err = decodeRounds(payload); err != nil {
+				return nil, err
+			}
+		case frameFinal:
+			if sawFinal {
+				return nil, errors.New("replay: duplicate final frame")
+			}
+			sawFinal = true
+			if lg.Final, err = decodeFinal(payload); err != nil {
+				return nil, err
+			}
+		case frameEnd:
+			if len(payload) != 0 {
+				return nil, errors.New("replay: end frame with payload")
+			}
+			sawEnd = true
+		case frameHeader:
+			return nil, errors.New("replay: duplicate header frame")
+		default:
+			return nil, fmt.Errorf("replay: unknown frame type %d", typ)
+		}
+	}
+	if !sawFinal {
+		return nil, errors.New("replay: log has no final frame")
+	}
+	if c.remaining() != 0 {
+		return nil, errors.New("replay: trailing bytes after end frame")
+	}
+	return lg, nil
+}
+
+// ReadFile reads and decodes a log from path.
+func ReadFile(path string) (*Log, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(buf)
+}

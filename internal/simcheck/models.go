@@ -2,6 +2,7 @@ package simcheck
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/hotpotato"
@@ -12,10 +13,12 @@ import (
 // modelSpec adapts one bundled model to the harness: which engines it can
 // build, and how to build an instrumented instance for a cell. Model sizes
 // are fixed small so a full matrix stays in CI territory; the seed is the
-// only knob a cell turns on the workload itself.
+// only knob a cell turns on the workload itself. endTime, when positive,
+// overrides the model's default horizon (the replay shrinker bisects it);
+// models with quantized horizons round it up.
 type modelSpec struct {
 	engines map[EngineKind]bool
-	build   func(c Cell) (*instance, error)
+	build   func(c Cell, endTime core.Time) (*instance, error)
 }
 
 var models = map[string]*modelSpec{
@@ -41,7 +44,7 @@ const (
 	cellGVTInterval = 2
 )
 
-func buildHotpotato(c Cell) (*instance, error) {
+func buildHotpotato(c Cell, endTime core.Time) (*instance, error) {
 	cfg := hotpotato.Config{
 		N:               8,
 		Policy:          hotpotatoPolicy(c.Mutation),
@@ -57,6 +60,14 @@ func buildHotpotato(c Cell) (*instance, error) {
 		GVTInterval:     cellGVTInterval,
 		Queue:           c.Queue,
 		Faults:          c.Faults,
+	}
+	if endTime > 0 {
+		// The hot-potato horizon is an integer step count; round a
+		// fractional override up so it stays positive.
+		cfg.Steps = int(math.Ceil(float64(endTime)))
+		if cfg.Steps < 1 {
+			cfg.Steps = 1
+		}
 	}
 	var (
 		host core.Host
@@ -88,6 +99,7 @@ func buildHotpotato(c Cell) (*instance, error) {
 	}
 	inst := &instance{
 		host: host, run: run, numLPs: host.NumLPs(),
+		endTime:  core.Time(cfg.Steps),
 		summary:  func() string { return m.Totals(host).String() },
 		describe: describeHotpotato,
 	}
@@ -105,7 +117,7 @@ func describeHotpotato(lp *core.LP, ev *core.Event) string {
 	return fmt.Sprintf("%v", ev.Data)
 }
 
-func buildPHOLD(c Cell) (*instance, error) {
+func buildPHOLD(c Cell, endTime core.Time) (*instance, error) {
 	cfg := phold.Config{
 		NumLPs:     64,
 		Population: 2,
@@ -122,6 +134,9 @@ func buildPHOLD(c Cell) (*instance, error) {
 		GVTInterval: cellGVTInterval,
 		Queue:       c.Queue,
 		Faults:      c.Faults,
+	}
+	if endTime > 0 {
+		cfg.EndTime = endTime
 	}
 	var (
 		host core.Host
@@ -153,13 +168,14 @@ func buildPHOLD(c Cell) (*instance, error) {
 	}
 	inst := &instance{
 		host: host, run: run, numLPs: host.NumLPs(),
+		endTime: cfg.EndTime,
 		summary: func() string { return fmt.Sprintf("phold: %d jobs processed", m.TotalProcessed(host)) },
 	}
 	inst.instrument(c)
 	return inst, nil
 }
 
-func buildQNet(c Cell) (*instance, error) {
+func buildQNet(c Cell, endTime core.Time) (*instance, error) {
 	cfg := qnet.Config{
 		N:              6,
 		JobsPerStation: 2,
@@ -172,6 +188,9 @@ func buildQNet(c Cell) (*instance, error) {
 		GVTInterval:    cellGVTInterval,
 		Queue:          c.Queue,
 		Faults:         c.Faults,
+	}
+	if endTime > 0 {
+		cfg.EndTime = endTime
 	}
 	var (
 		host core.Host
@@ -198,6 +217,7 @@ func buildQNet(c Cell) (*instance, error) {
 	}
 	inst := &instance{
 		host: host, run: run, numLPs: host.NumLPs(),
+		endTime: cfg.EndTime,
 		summary: func() string { return m.Totals(host, cfg.EndTime).String() },
 	}
 	inst.instrument(c)

@@ -175,6 +175,11 @@ type Matrix struct {
 	// reference stays clean so the self-test can assert the harness
 	// reports the divergence.
 	Mutation Mutation
+	// AutoRecord, when non-empty, names a directory where every diverging
+	// optimistic cell is re-recorded through internal/replay, shrunk to a
+	// minimal failing log, and written as a .replay artifact (the paths
+	// land in Report.Artifacts).
+	AutoRecord string
 }
 
 // Smoke is the CI matrix: both fast models under all three engines, two PE
@@ -287,6 +292,9 @@ type Report struct {
 	// ForcedRollbacks totals the fault-injected rollbacks across cells —
 	// evidence the adversarial plans actually fired.
 	ForcedRollbacks int64
+	// Artifacts lists the .replay files auto-recorded for diverging cells
+	// (only when Matrix.AutoRecord is set).
+	Artifacts []string
 }
 
 // OK reports whether every cell matched its reference.
@@ -301,7 +309,7 @@ func RunCell(c Cell) (Result, error) {
 	if !spec.engines[c.Engine] {
 		return Result{}, fmt.Errorf("simcheck: model %q does not support engine %q", c.Model, c.Engine)
 	}
-	inst, err := spec.build(c)
+	inst, err := spec.build(c, 0)
 	if err != nil {
 		return Result{}, err
 	}
@@ -316,7 +324,7 @@ func RunCell(c Cell) (Result, error) {
 			TraceLen:  inst.rec.Len(),
 			TraceHash: inst.rec.Hash(),
 			LPHashes:  inst.rec.LPHashes(inst.numLPs),
-			StateHash: stateHash(inst.host),
+			StateHash: trace.StateHash(inst.host),
 		},
 		Stats:   stats,
 		Summary: inst.summary(),
@@ -375,6 +383,14 @@ func Run(m Matrix, logf func(format string, args ...any)) *Report {
 				if diffs := compare(ref.FP, got.FP); len(diffs) > 0 {
 					rep.Divergences = append(rep.Divergences, Divergence{Ref: refCell, Got: c, Details: diffs})
 					logf("FAIL [%s] %s", c, strings.Join(diffs, "; "))
+					if m.AutoRecord != "" && c.Engine == EngOptimistic {
+						if path, err := autoRecord(m.AutoRecord, c, logf); err != nil {
+							logf("auto-record [%s] failed: %v", c, err)
+						} else {
+							rep.Artifacts = append(rep.Artifacts, path)
+							logf("auto-record [%s] wrote %s", c, path)
+						}
+					}
 				} else {
 					logf("ok   [%s] committed=%d", c, got.FP.Committed)
 				}
@@ -384,28 +400,13 @@ func Run(m Matrix, logf func(format string, args ...any)) *Report {
 	return rep
 }
 
-// stateHash digests every LP's final model state via its deterministic %+v
-// rendering, in LP order. It catches bugs the committed trace cannot see —
-// e.g. a Reverse handler that forgets to restore a counter no Forward
-// branch ever reads.
-func stateHash(h core.Host) uint64 {
-	const prime = 1099511628211
-	hash := uint64(14695981039346656037)
-	h.ForEachLP(func(lp *core.LP) {
-		s := fmt.Sprintf("%d=%+v;", lp.ID, lp.State)
-		for i := 0; i < len(s); i++ {
-			hash = (hash ^ uint64(s[i])) * prime
-		}
-	})
-	return hash
-}
-
 // instance is one built, instrumented engine ready to run.
 type instance struct {
 	host    core.Host
 	run     func() (*core.Stats, error)
 	rec     *trace.Recorder
 	numLPs  int
+	endTime core.Time
 	summary func() string
 	// describe renders an event's semantic payload for the trace hash. It
 	// must omit reverse-computation scratch (Saved* fields): scratch is

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestPrefixHashesMatchManualPrefixes: the incremental single-pass result
+// must equal hashing each prefix from scratch, and the last horizon past
+// the end of the trace must equal the full-trace hash.
+func TestPrefixHashesMatchManualPrefixes(t *testing.T) {
+	rec := NewRecorder(0)
+	run(t, true, rec)
+	recs := rec.Records()
+	if len(recs) == 0 {
+		t.Fatal("empty trace")
+	}
+	mid := recs[len(recs)/2].T
+	horizons := []core.Time{0, mid / 2, mid, mid, recs[len(recs)-1].T + 1}
+	got := rec.PrefixHashes(horizons)
+
+	for i, hor := range horizons {
+		h := fnvOffset
+		for _, r := range recs {
+			if r.T < hor {
+				h = fnvRecord(h, r)
+			}
+		}
+		if got[i] != h {
+			t.Errorf("horizon %v: incremental %016x != from-scratch %016x", hor, got[i], h)
+		}
+	}
+	if got[0] != fnvOffset {
+		t.Error("horizon 0 should hash the empty prefix")
+	}
+	if got[len(got)-1] != rec.Hash() {
+		t.Error("horizon past end of trace != full-trace hash")
+	}
+	// Equal consecutive horizons must produce equal hashes.
+	if got[2] != got[3] {
+		t.Error("repeated horizon produced different hashes")
+	}
+}
+
+// TestPrefixHashesTransferAcrossRuns is the property replay's per-round
+// verification rests on: a prefix hash depends only on the committed
+// history and the horizon, so a parallel run and a sequential run of the
+// same model agree at every horizon even though their execution schedules
+// (and GVT round placements) differ completely.
+func TestPrefixHashesTransferAcrossRuns(t *testing.T) {
+	recPar := NewRecorder(0)
+	run(t, true, recPar)
+	recSeq := NewRecorder(0)
+	run(t, false, recSeq)
+
+	recs := recPar.Records()
+	horizons := make([]core.Time, 0, 16)
+	for i := 0; i < len(recs); i += len(recs)/15 + 1 {
+		horizons = append(horizons, recs[i].T)
+	}
+	horizons = append(horizons, recs[len(recs)-1].T+1)
+
+	par := recPar.PrefixHashes(horizons)
+	seq := recSeq.PrefixHashes(horizons)
+	for i := range horizons {
+		if par[i] != seq[i] {
+			t.Errorf("horizon %v: parallel %016x != sequential %016x", horizons[i], par[i], seq[i])
+		}
+	}
+}
+
+func TestPrefixHashesPanics(t *testing.T) {
+	rec := NewRecorder(0)
+	run(t, false, rec)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("decreasing horizons did not panic")
+			}
+		}()
+		rec.PrefixHashes([]core.Time{2, 1})
+	}()
+
+	small := NewRecorder(4) // bounded: will drop records
+	run(t, false, small)
+	if small.Dropped() == 0 {
+		t.Fatal("bounded recorder dropped nothing; test needs a longer run")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("PrefixHashes on a dropping recorder did not panic")
+		}
+	}()
+	small.PrefixHashes([]core.Time{1})
+}
+
+// TestStateHashSeesModelState: equal final states hash equal; perturbing
+// one LP's state changes the hash.
+func TestStateHashSeesModelState(t *testing.T) {
+	build := func() core.Host {
+		cfg := core.Config{NumLPs: 8, EndTime: 1, Seed: 1}
+		q, err := core.NewSequential(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q.ForEachLP(func(lp *core.LP) {
+			lp.Handler = echoModel{numLPs: 8}
+			lp.State = &echoState{count: int64(lp.ID) * 3}
+		})
+		return q
+	}
+	a, b := build(), build()
+	if StateHash(a) != StateHash(b) {
+		t.Fatal("identical states hash differently")
+	}
+	b.LP(5).State.(*echoState).count++
+	if StateHash(a) == StateHash(b) {
+		t.Fatal("perturbed state hashes the same")
+	}
+}

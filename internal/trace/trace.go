@@ -150,6 +150,50 @@ func (r *Recorder) Hash() uint64 {
 	return h
 }
 
+// PrefixHashes digests, for each horizon, the sorted-trace prefix of
+// records with T strictly below that horizon. Horizons must be
+// nondecreasing (GVT estimates are); the method panics otherwise. The
+// point of prefix hashes over "hash of what was committed when the round
+// ran" is that they are a pure function of the final committed trace and
+// the horizon values: the kernel's determinism guarantee makes them
+// reproducible across runs even though GVT round boundaries (a wall-clock
+// artifact) are not. The replay verifier leans on exactly this — it
+// evaluates a recording's horizons against a fresh run's trace. Same
+// bounded-recorder caveat as Hash.
+func (r *Recorder) PrefixHashes(horizons []core.Time) []uint64 {
+	if r.Dropped() > 0 {
+		panic("trace: PrefixHashes on a recorder that dropped records")
+	}
+	recs := r.Records()
+	out := make([]uint64, len(horizons))
+	h := fnvOffset
+	i := 0
+	for j, hor := range horizons {
+		if j > 0 && hor < horizons[j-1] {
+			panic("trace: PrefixHashes horizons must be nondecreasing")
+		}
+		for i < len(recs) && recs[i].T < hor {
+			h = fnvRecord(h, recs[i])
+			i++
+		}
+		out[j] = h
+	}
+	return out
+}
+
+// StateHash digests every LP's final model state (its %+v rendering, which
+// walks exported struct fields deterministically) into one value. It is
+// the "did the runs end in the same world" half of a run fingerprint, the
+// committed trace being the "did they get there the same way" half; the
+// simcheck harness and the replay verifier compare both.
+func StateHash(h core.Host) uint64 {
+	out := fnvOffset
+	h.ForEachLP(func(lp *core.LP) {
+		out = fnvString(out, fmt.Sprintf("%d=%+v;", lp.ID, lp.State))
+	})
+	return out
+}
+
 // LPHashes digests each destination LP's committed event order separately,
 // so a divergence can be localised to the LPs whose histories differ rather
 // than reported as one global mismatch. Records for destinations outside
