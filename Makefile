@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-all simcheck simlint lint check figures figures-full examples clean
+.PHONY: all build test race cover bench bench-all simcheck simlint soak lint check figures figures-full examples clean
 
 all: build test
 
@@ -29,6 +29,16 @@ bin/simlint: $(shell find internal/analysis cmd/simlint -name '*.go' -not -path 
 simlint: bin/simlint
 	./bin/simlint ./...
 
+# Randomized soak/chaos run: seeded episode schedule composing the kernel
+# fault injectors with live invariant sweeps and the memory valve, failing
+# episodes auto-shrunk to .replay artifacts (docs/TESTING.md, "Soaking").
+# Defaults match the per-PR CI smoke soak; the nightly run uses a rotating
+# seed and a 20-minute budget.
+SOAK_SEED ?= 7
+SOAK_WALL ?= 90s
+soak:
+	$(GO) run ./cmd/soaktest -seed $(SOAK_SEED) -wall $(SOAK_WALL) -artifacts soak-artifacts
+
 # Static analysis: gofmt, go vet, and the simlint Time Warp contract
 # checkers (docs/ANALYSIS.md). Fails on any unannotated finding.
 # (staticcheck would slot in here, but the build environment is offline;
@@ -49,25 +59,26 @@ cover:
 
 # Figure benchmarks with allocation accounting, captured as a machine-
 # readable trajectory (format documented in EXPERIMENTS.md). The baseline
-# is the committed PR3 result set: the record/replay hooks sit on the
-# kernel hot path (one nil pointer test per site when no sink is
-# attached), so the gates hold the record-disabled kernel to PR3 speed and
-# allocation counts. ns/op gates are generous because benchtime=1x
-# wall-clock numbers carry ~8% noise and the baseline was captured on one
-# particular host; the allocs gates are hardware-independent.
+# is the committed PR5 result set: the memory valve sits on the scheduler
+# hot path (one gauge increment per executed event plus one budget test
+# per pass when disarmed), so the gates hold the valve-disabled kernel to
+# PR5 speed and allocation counts. ns/op gates are generous because
+# benchtime=1x wall-clock numbers carry ~8% noise and the baseline was
+# captured on one particular host; the allocs gates are
+# hardware-independent.
 bench:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x -benchmem . \
 	  | $(GO) run ./cmd/benchjson \
-	      -label "PR5 record/replay hooks (disabled) vs PR3" \
-	      -baseline BENCH_PR3.json \
+	      -label "PR6 memory valve (disabled) vs PR5" \
+	      -baseline BENCH_PR5.json \
 	      -check 'KernelPHOLD/pe1:ns/op<=1.2*baseline' \
 	      -check 'KernelPHOLD/pe4:ns/op<=1.2*baseline' \
 	      -check 'KernelPHOLD/pe1:allocs/op<=1.05*baseline' \
 	      -check 'KernelPHOLD/pe4:allocs/op<=1.05*baseline' \
 	      -check 'KernelTorusComms/pe4:ns/op<=1.2*baseline' \
 	      -check 'KernelTorusComms/pe4:allocs/op<=1.05*baseline' \
-	      -out BENCH_PR5.json
-	@echo wrote BENCH_PR5.json
+	      -out BENCH_PR6.json
+	@echo wrote BENCH_PR6.json
 
 # Every benchmark in every package, human-readable.
 bench-all:

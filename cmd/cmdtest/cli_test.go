@@ -3,6 +3,7 @@
 package cmdtest
 
 import (
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -18,7 +19,7 @@ func TestMain(m *testing.M) {
 		panic(err)
 	}
 	binDir = dir
-	for _, tool := range []string{"hotpotato", "figures", "phold", "replay"} {
+	for _, tool := range []string{"hotpotato", "figures", "phold", "replay", "soaktest"} {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "repro/cmd/"+tool)
 		cmd.Dir = ".."
 		if out, err := cmd.CombinedOutput(); err != nil {
@@ -187,4 +188,49 @@ func TestReplayCLI(t *testing.T) {
 	runExpectError(t, "replay", "-mode", "warp9", clean)
 	runExpectError(t, "replay", "-record", "-model", "nonesuch", "-o", filepath.Join(dir, "x.replay"))
 	runExpectError(t, "replay")
+}
+
+// TestSoaktestCLI covers the chaos harness binary: a seeded smoke soak is
+// deterministic (same report fingerprint on re-run), and a mutation-armed
+// soak exits 1 with failures and artifact paths on stderr while the
+// summary stays on stdout.
+func TestSoaktestCLI(t *testing.T) {
+	a := run(t, "soaktest", "-seed", "7", "-episodes", "2")
+	if !strings.Contains(a, "fingerprint=") {
+		t.Fatalf("summary missing fingerprint:\n%s", a)
+	}
+	b := run(t, "soaktest", "-seed", "7", "-episodes", "2")
+	fp := func(s string) string {
+		for _, f := range strings.Fields(s) {
+			if strings.HasPrefix(f, "fingerprint=") {
+				return f
+			}
+		}
+		return ""
+	}
+	if fp(a) == "" || fp(a) != fp(b) {
+		t.Fatalf("same seed produced different fingerprints: %q vs %q", fp(a), fp(b))
+	}
+
+	dir := t.TempDir()
+	cmd := exec.Command(filepath.Join(binDir, "soaktest"),
+		"-seed", "21", "-episodes", "2", "-models", "phold",
+		"-mutation", "map-order", "-artifacts", dir)
+	var stdout, stderr strings.Builder
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	var exit *exec.ExitError
+	if !errors.As(err, &exit) || exit.ExitCode() != 1 {
+		t.Fatalf("mutation soak: err=%v\nstdout:\n%s\nstderr:\n%s", err, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "FAILURE") || !strings.Contains(stderr.String(), "replay artifact") {
+		t.Fatalf("stderr missing failure/artifact lines:\n%s", stderr.String())
+	}
+	if strings.Contains(stdout.String(), "replay artifact") {
+		t.Fatalf("artifact paths leaked to stdout:\n%s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "failures=") {
+		t.Fatalf("summary not on stdout:\n%s", stdout.String())
+	}
+	runExpectError(t, "soaktest", "-models", "nope")
 }

@@ -106,8 +106,10 @@ func main() {
 	for _, d := range rep.Divergences {
 		fmt.Fprintln(os.Stderr, d)
 	}
+	// Artifact paths belong with the failures they reproduce: stderr, so
+	// piping stdout (the summary) elsewhere never hides them.
 	for _, a := range rep.Artifacts {
-		fmt.Printf("simcheck: replay artifact %s (inspect with: replay -dump %s)\n", a, a)
+		fmt.Fprintf(os.Stderr, "simcheck: replay artifact %s (inspect with: replay -dump %s)\n", a, a)
 	}
 	fmt.Printf("simcheck: %d cells, %d divergences, %d forced rollbacks injected\n",
 		rep.Cells, len(rep.Divergences), rep.ForcedRollbacks)

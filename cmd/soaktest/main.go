@@ -1,0 +1,94 @@
+// Command soaktest runs the randomized soak/chaos harness: a seeded
+// schedule of differential episodes rotating models and engines, composing
+// kernel fault injectors, squeezing the memory valve, and sweeping kernel
+// invariants live while each episode runs. Budgets are wall-clock or
+// episode-count; with neither flag the default is a 16-episode smoke. The
+// run is a deterministic function of -seed, so any failure line is a
+// reproduction recipe — and failing optimistic episodes additionally land
+// as shrunk .replay artifacts under -artifacts.
+//
+// Failures and artifact paths go to stderr; the summary goes to stdout.
+// Exit status: 0 clean, 1 failures, 2 usage or setup error.
+//
+// Examples:
+//
+//	soaktest                                  # 16-episode smoke
+//	soaktest -seed 7 -wall 90s -artifacts out # CI smoke soak
+//	soaktest -seed 7 -wall 20m -artifacts out # nightly soak
+//	soaktest -models phold -mutation map-order -episodes 2 -artifacts out
+//	                                          # self-test: watch it fail
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/profiling"
+	"repro/internal/simcheck"
+	"repro/internal/soak"
+)
+
+func main() {
+	var (
+		seed      = flag.Uint64("seed", 1, "schedule seed; same seed, same schedule, same fingerprint")
+		episodes  = flag.Int("episodes", 0, "episode-count budget (0 = none)")
+		wall      = flag.Duration("wall", 0, "wall-clock budget, e.g. 90s or 20m (0 = none)")
+		models    = flag.String("models", "", "comma-separated models to rotate (default: all)")
+		mutation  = flag.String("mutation", "", "arm a seeded bug (self-test demo); see simcheck -mutation")
+		artifacts = flag.String("artifacts", "", "directory for shrunk .replay artifacts of failing optimistic episodes")
+		paranoid  = flag.Bool("paranoid", true, "sweep kernel invariants live during every optimistic episode")
+		verbose   = flag.Bool("v", false, "log every episode, not just failures")
+	)
+	prof := profiling.AddFlags(flag.CommandLine)
+	flag.Parse()
+	stopProf, perr := prof.Start()
+	if perr != nil {
+		fatal(perr)
+	}
+	if flag.NArg() > 0 {
+		fatal(fmt.Errorf("unexpected arguments: %v", flag.Args()))
+	}
+
+	cfg := soak.Config{
+		Seed:        *seed,
+		Episodes:    *episodes,
+		Wall:        *wall,
+		Mutation:    simcheck.Mutation(*mutation),
+		ArtifactDir: *artifacts,
+		Paranoid:    *paranoid,
+	}
+	if *models != "" {
+		cfg.Models = strings.Split(*models, ",")
+	}
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	}
+
+	rep, err := soak.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	for _, f := range rep.Failures {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	for _, a := range rep.Artifacts {
+		fmt.Fprintf(os.Stderr, "soaktest: replay artifact %s (inspect with: replay -dump %s)\n", a, a)
+	}
+	fmt.Println(rep)
+	// Flush profiles before the explicit exit below — deferred calls would
+	// not run past os.Exit.
+	if err := stopProf(); err != nil {
+		fatal(err)
+	}
+	if !rep.OK() {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "soaktest:", err)
+	os.Exit(2)
+}

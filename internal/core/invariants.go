@@ -13,6 +13,18 @@ import "fmt"
 // barriers (quiescent), after fossil collection, with the just-computed
 // GVT.
 func (pe *PE) checkInvariants(gvt Time) error {
+	// The pressure valve's gauge must agree with ground truth: liveEvents
+	// is maintained incrementally (execute, rollback, fossil collection)
+	// and a drift here would silently mis-throttle — or never throttle —
+	// the memory bound.
+	live := int64(0)
+	for _, kp := range pe.kps {
+		live += int64(kp.live())
+	}
+	if live != pe.liveEvents {
+		return fmt.Errorf("core: invariant: PE %d live-event gauge %d != %d live across KPs",
+			pe.id, pe.liveEvents, live)
+	}
 	for _, kp := range pe.kps {
 		// Processed lists ascend strictly in the total event order and
 		// hold only processed events at or above the commit horizon.

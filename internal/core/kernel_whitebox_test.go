@@ -429,3 +429,107 @@ func TestEventAccessors(t *testing.T) {
 		t.Fatal("empty String()")
 	}
 }
+
+// heavyState carries a KiB of model state so snapshot retention is visible
+// in bytes, not just counts.
+type heavyState struct {
+	data []byte
+}
+
+// heavySnap is a SnapshotModel whose per-event snapshots are full copies of
+// the KiB state — the copy-state-saving worst case fossil collection must
+// actually reclaim.
+type heavySnap struct{}
+
+func (heavySnap) Forward(lp *LP, ev *Event) {
+	st := lp.State.(*heavyState)
+	st.data[0]++
+}
+
+func (heavySnap) Snapshot(lp *LP) any {
+	st := lp.State.(*heavyState)
+	cp := make([]byte, len(st.data))
+	copy(cp, st.data)
+	return cp
+}
+
+func (heavySnap) Restore(lp *LP, snap any) {
+	st := lp.State.(*heavyState)
+	copy(st.data, snap.([]byte))
+}
+
+// snapBytes sums the bytes a stateSaver still references: live counts only
+// snaps the kernel may yet restore; retained also counts committed
+// snapshots whose slots have not been compacted away.
+func snapBytes(s *stateSaver) (live, retained int) {
+	for i, snap := range s.snaps {
+		if snap == nil {
+			continue
+		}
+		n := len(snap.([]byte))
+		retained += n
+		if i >= s.base {
+			live += n
+		}
+	}
+	return live, retained
+}
+
+// TestFossilCollectionFreesStateSaves: fossil collection must release
+// state saves along with events — the committed prefix of the snapshot
+// stack is dropped and compacted, the live snapshot count tracks kp.live()
+// exactly, and the pressure valve's gauge follows both down.
+func TestFossilCollectionFreesStateSaves(t *testing.T) {
+	s := build2LPKernel(t)
+	pe := s.pes[0]
+	saver := StateSaving(heavySnap{}).(*stateSaver)
+	s.lps[0].Handler = saver
+	s.lps[0].State = &heavyState{data: make([]byte, 1024)}
+
+	const n = 200
+	for i := 0; i < n; i++ {
+		pe.insert(&Event{recvTime: Time(i + 1), dst: 0, src: NoLP, seq: uint64(100 + i)})
+		exec(t, pe)
+	}
+	kp := s.lps[0].kp
+	if kp.live() != n || pe.liveEvents != n {
+		t.Fatalf("live=%d gauge=%d, want %d", kp.live(), pe.liveEvents, n)
+	}
+	liveB, retainedB := snapBytes(saver)
+	if liveB != n*1024 || retainedB != n*1024 {
+		t.Fatalf("pre-fossil snapshot bytes live=%d retained=%d, want %d", liveB, retainedB, n*1024)
+	}
+
+	pe.fossilCollect(151) // t=1..150 commit; 50 live remain
+	if kp.committed != 150 || kp.live() != 50 {
+		t.Fatalf("committed=%d live=%d", kp.committed, kp.live())
+	}
+	if pe.liveEvents != 50 {
+		t.Fatalf("gauge after fossil = %d, want 50", pe.liveEvents)
+	}
+	if err := pe.checkInvariants(0); err != nil {
+		t.Fatal(err)
+	}
+	liveB, retainedB = snapBytes(saver)
+	if liveB != 50*1024 {
+		t.Fatalf("live snapshot bytes after fossil = %d, want %d", liveB, 50*1024)
+	}
+	// Commit-time compaction (base > 64 and > half the stack) must have
+	// dropped the dead prefix, so retained bytes equal live bytes: no
+	// committed KiB snapshot outlives its event.
+	if retainedB != liveB {
+		t.Fatalf("fossil collection leaked committed snapshots: retained=%d live=%d", retainedB, liveB)
+	}
+
+	// A straggler below the live region restores from the surviving
+	// snapshots, proving the compaction kept the right ones.
+	st := s.lps[0].State.(*heavyState)
+	before := st.data[0]
+	pe.insert(&Event{recvTime: 160.5, dst: 0, src: NoLP, seq: 999})
+	if rolled := int(before) - int(st.data[0]); rolled != 40 {
+		t.Fatalf("straggler rolled back %d applications, want 40", rolled)
+	}
+	if pe.liveEvents != 10 {
+		t.Fatalf("gauge after rollback = %d, want 10", pe.liveEvents)
+	}
+}

@@ -42,6 +42,17 @@ type PE struct {
 	// faults is non-nil only when Config.Faults is set; see faults.go.
 	faults *peFaults
 
+	// liveEvents is the pressure valve's gauge: this PE's current count of
+	// executed-but-uncommitted events, maintained exactly (+1 at execute,
+	// -1 per rollback unwind, -committed at fossil collection) so it always
+	// equals the sum of kp.live() over this PE's KPs — which is also the
+	// number of live state saves under copy state saving (one snapshot per
+	// uncommitted event). checkInvariants asserts the identity.
+	liveEvents int64 //simlint:sharded
+	// sweepSince counts scheduler passes since the last in-run invariant
+	// sweep (Config.InvariantSweep).
+	sweepSince int
+
 	// Statistics (owned by this PE; read by others only after Run).
 	// mailSent and mailReceived double as this PE's shards of the global
 	// in-flight message accounting: the GVT stability loop sums them
@@ -61,6 +72,9 @@ type PE struct {
 	batchesFlushed     int64         //simlint:sharded
 	batchedMessages    int64         //simlint:sharded
 	mailboxPeak        int64         //simlint:sharded
+	livePeak           int64         //simlint:sharded
+	memThrottles       int64         //simlint:sharded
+	invariantSweeps    int64         //simlint:sharded
 	parks              int64         //simlint:sharded
 	wakes              atomic.Int64  // bumped by the waker, not the owner: atomic, so not sharded
 	busy               time.Duration //simlint:sharded
@@ -155,6 +169,7 @@ func (pe *PE) rollback(kp *KP, key eventKey) int {
 		pe.pending.Push(tail)
 		kp.rolledBackEvents++
 		pe.rolledBackEvents++
+		pe.liveEvents--
 		n++
 	}
 	return n
@@ -237,6 +252,10 @@ func (pe *PE) execute(ev *Event) {
 	lp.mode = modeIdle
 	kp.push(ev)
 	pe.processed++
+	pe.liveEvents++
+	if pe.liveEvents > pe.livePeak {
+		pe.livePeak = pe.liveEvents
+	}
 }
 
 // run is the PE goroutine body.
@@ -283,6 +302,18 @@ func (pe *PE) run() (err error) {
 				horizon = h
 			}
 		}
+		if b := s.cfg.MaxLiveEvents; b > 0 && pe.liveEvents >= int64(b) {
+			// Pressure valve engaged: this PE is at its live-event budget,
+			// so it stops advancing past GVT+window until fossil collection
+			// drains it back under. The window stays positive, so the event
+			// at GVT itself — the global minimum — remains executable and
+			// GVT keeps advancing; the overshoot within one pass is bounded
+			// by BatchSize plus whatever sits below the window.
+			if h := s.GVT() + s.cfg.PressureWindow; h < horizon {
+				horizon = h
+				pe.memThrottles++
+			}
+		}
 		for n < batch {
 			ev, ok := pe.nextLive()
 			if !ok || ev.recvTime >= horizon {
@@ -327,6 +358,21 @@ func (pe *PE) run() (err error) {
 		pe.idleSpins = 0
 		pe.idleRound = false
 		pe.sinceGVT += n
+		if sw := s.cfg.InvariantSweep; sw > 0 {
+			// In-run invariant sweep: validate this PE's own structures
+			// every sw non-empty passes, without waiting for a GVT round.
+			// Everything checkInvariants touches is PE-owned, so no
+			// quiescence is required.
+			pe.sweepSince++
+			if pe.sweepSince >= sw {
+				pe.sweepSince = 0
+				pe.invariantSweeps++
+				if err := pe.checkInvariants(s.GVT()); err != nil {
+					s.fail(err)
+					return err
+				}
+			}
+		}
 		if pe.faults != nil {
 			pe.maybeForceRollback(n)
 			if batch < s.cfg.BatchSize {
@@ -345,11 +391,16 @@ func (pe *PE) run() (err error) {
 // lookup implements the engine interface by delegating to the simulator.
 func (pe *PE) lookup(id LPID) *LP { return pe.sim.lookup(id) }
 
-// fossilCollect commits all events below gvt on this PE's KPs.
+// fossilCollect commits all events below gvt on this PE's KPs. Committing
+// drains the pressure valve's gauge: every committed event leaves the
+// live set (and, under copy state saving, drops its snapshot), which is
+// what re-opens a memory-throttled PE's optimism window.
 func (pe *PE) fossilCollect(gvt Time) {
 	for _, kp := range pe.kps {
 		before := kp.committed
 		kp.fossilCollect(gvt, pe)
-		pe.committed += kp.committed - before
+		delta := kp.committed - before
+		pe.committed += delta
+		pe.liveEvents -= delta
 	}
 }

@@ -47,6 +47,32 @@ type Config struct {
 	// volume — essential when PEs outnumber cores and one PE can race
 	// far ahead while another is descheduled. 0 means unlimited.
 	MaxOptimism Time
+	// MaxLiveEvents, when positive, bounds each PE's optimistic memory
+	// footprint: once a PE holds this many executed-but-uncommitted
+	// events (which is also its count of live state saves — one snapshot
+	// per uncommitted event under copy state saving), its optimism window
+	// collapses to GVT+PressureWindow until fossil collection drains it
+	// back under budget. This is the fossil-collection pressure valve —
+	// cancelback-lite: instead of reclaiming memory by returning events
+	// to their senders, the PE simply stops advancing (and therefore
+	// stops allocating) until commitment catches up. Scheduling-only, so
+	// committed results are unaffected. 0 means unbounded.
+	MaxLiveEvents int
+	// PressureWindow is the optimism window a memory-throttled PE falls
+	// back to: with the valve engaged it still executes events below
+	// GVT + PressureWindow, which keeps the event at GVT itself — the
+	// global minimum — executable and the run deadlock-free. Defaults to
+	// MaxOptimism when that is set, else EndTime/64. Only meaningful with
+	// MaxLiveEvents.
+	PressureWindow Time
+	// InvariantSweep, when positive, runs each PE's structural invariant
+	// checks (see CheckInvariants) every n scheduler passes in addition
+	// to the barrier-time sweep at GVT rounds. The checks touch only
+	// PE-owned state, so no quiescence is needed; the cost is a full
+	// pending-queue scan per sweep. Intended for the soak harness, where
+	// hours-scale runs cannot wait for a round boundary to notice
+	// corruption. Implies CheckInvariants.
+	InvariantSweep int
 	// Seed offsets every LP's random stream, so distinct seeds give
 	// statistically independent runs while identical seeds reproduce runs
 	// exactly (regardless of PE/KP counts).
@@ -142,12 +168,34 @@ func (cfg *Config) setDefaults() error {
 	default:
 		return fmt.Errorf("core: unknown queue kind %q", cfg.Queue)
 	}
+	if cfg.MaxLiveEvents < 0 || cfg.InvariantSweep < 0 {
+		return errors.New("core: MaxLiveEvents and InvariantSweep must be non-negative")
+	}
+	if cfg.InvariantSweep > 0 {
+		cfg.CheckInvariants = true
+	}
+	if cfg.MaxLiveEvents > 0 && cfg.PressureWindow <= 0 {
+		cfg.PressureWindow = cfg.defaultPressureWindow()
+	}
 	if cfg.Faults != nil {
 		if err := cfg.Faults.validate(); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// defaultPressureWindow derives the throttled-PE optimism window when the
+// caller armed MaxLiveEvents without choosing one. Any positive value is
+// correct (the valve is scheduling-only); MaxOptimism, when set, is the
+// window the caller already considered reasonable, and EndTime/64 is
+// otherwise small enough to bite yet wide enough that GVT rounds make
+// visible progress per engagement.
+func (cfg *Config) defaultPressureWindow() Time {
+	if cfg.MaxOptimism > 0 {
+		return cfg.MaxOptimism
+	}
+	return cfg.EndTime / 64
 }
 
 // Host is the setup interface shared by the parallel Simulator and the
@@ -306,6 +354,42 @@ func (s *Simulator) SetRecord(r RecordSink) {
 		panic("core: SetRecord after Run")
 	}
 	s.cfg.Record = r
+}
+
+// SetMemoryBound arms the fossil-collection pressure valve after
+// construction (see Config.MaxLiveEvents/PressureWindow): each PE caps its
+// executed-but-uncommitted events at maxLive, falling back to a
+// GVT+window optimism horizon while over budget. window <= 0 picks the
+// default. Models build the kernel Config internally, so — like SetRecord
+// — this is how harnesses reach a model-built simulator; it must be
+// called before Run. maxLive <= 0 disarms the valve.
+func (s *Simulator) SetMemoryBound(maxLive int, window Time) {
+	if s.ran {
+		panic("core: SetMemoryBound after Run")
+	}
+	if maxLive <= 0 {
+		s.cfg.MaxLiveEvents, s.cfg.PressureWindow = 0, 0
+		return
+	}
+	s.cfg.MaxLiveEvents = maxLive
+	s.cfg.PressureWindow = window
+	if window <= 0 {
+		s.cfg.PressureWindow = s.cfg.defaultPressureWindow()
+	}
+}
+
+// SetParanoid enables the kernel's invariant checks after construction
+// (Config.CheckInvariants), with an additional in-run sweep every
+// sweepEvery scheduler passes when sweepEvery is positive (see
+// Config.InvariantSweep). Must be called before Run.
+func (s *Simulator) SetParanoid(sweepEvery int) {
+	if s.ran {
+		panic("core: SetParanoid after Run")
+	}
+	s.cfg.CheckInvariants = true
+	if sweepEvery > 0 {
+		s.cfg.InvariantSweep = sweepEvery
+	}
 }
 
 // ForEachBootstrap visits every bootstrap event scheduled so far, in

@@ -66,6 +66,11 @@ func (s *stateSaver) Commit(lp *LP, ev *Event) {
 	if committer, ok := s.m.(Committer); ok {
 		committer.Commit(lp, ev)
 	}
+	// Release the snapshot now, not at the next compaction: the dead slot
+	// itself is one interface word, but the state copy behind it can be
+	// arbitrarily large, and fossil collection is where that memory must
+	// actually return.
+	s.snaps[s.base] = nil
 	s.base++
 	// Compact once the dead prefix dominates.
 	if s.base > 64 && s.base > len(s.snaps)/2 {

@@ -33,6 +33,17 @@ type PEStats struct {
 	Parks           int64
 	Wakes           int64
 
+	// Memory-bound counters (see Config.MaxLiveEvents). LivePeak is the
+	// high-water mark of this PE's executed-but-uncommitted events — the
+	// concurrent optimistic memory footprint the pressure valve bounds
+	// (and, under copy state saving, the peak live snapshot count).
+	// MemThrottles counts scheduler passes run with the valve engaged;
+	// InvariantSweeps counts in-run invariant sweeps performed
+	// (Config.InvariantSweep).
+	LivePeak        int64
+	MemThrottles    int64
+	InvariantSweeps int64
+
 	// Event-pool counters (see pool.go). PoolHits are Sends served from
 	// the free list, PoolMisses the ones that had to allocate;
 	// EventsRecycled counts events returned to this PE's pool (which may
@@ -83,6 +94,14 @@ type Stats struct {
 	// PeakLiveEvents sums the per-KP high-water marks: the optimistic
 	// memory footprint in events.
 	PeakLiveEvents int
+	// LivePeak is the largest concurrent per-PE live-event count seen on
+	// any PE — the number the pressure valve (Config.MaxLiveEvents)
+	// bounds. MemThrottles totals the passes PEs ran with the valve
+	// engaged (0 in unbounded runs); InvariantSweeps totals the in-run
+	// invariant sweeps (Config.InvariantSweep).
+	LivePeak        int64
+	MemThrottles    int64
+	InvariantSweeps int64
 	// Event-pool totals across all pools: allocations avoided (PoolHits),
 	// allocations performed (PoolMisses), events and payloads recycled,
 	// and the summed per-pool live high-water mark. PoolHitRate is
@@ -151,6 +170,9 @@ func (s *Simulator) collectStats(wall time.Duration) *Stats {
 			BatchesFlushed:     pe.batchesFlushed,
 			BatchedMessages:    pe.batchedMessages,
 			MailboxPeak:        pe.mailboxPeak,
+			LivePeak:           pe.livePeak,
+			MemThrottles:       pe.memThrottles,
+			InvariantSweeps:    pe.invariantSweeps,
 			Parks:              pe.parks,
 			Wakes:              pe.wakes.Load(),
 		}
@@ -170,6 +192,11 @@ func (s *Simulator) collectStats(wall time.Duration) *Stats {
 		if ps.MailboxPeak > st.MailboxPeak {
 			st.MailboxPeak = ps.MailboxPeak
 		}
+		if ps.LivePeak > st.LivePeak {
+			st.LivePeak = ps.LivePeak
+		}
+		st.MemThrottles += ps.MemThrottles
+		st.InvariantSweeps += ps.InvariantSweeps
 		st.Parks += ps.Parks
 		st.Wakes += ps.Wakes
 	}
@@ -216,7 +243,13 @@ func (st *Stats) String() string {
 			st.BatchesFlushed, st.AvgBatchSize, st.MailboxPeak, st.Parks, st.Wakes)
 	}
 	fmt.Fprintf(&b, "  GVT rounds:         %d\n", st.GVTRounds)
-	fmt.Fprintf(&b, "  peak live events:   %d\n", st.PeakLiveEvents)
+	fmt.Fprintf(&b, "  peak live events:   %d (peak %d concurrent on one PE)\n", st.PeakLiveEvents, st.LivePeak)
+	if st.MemThrottles > 0 {
+		fmt.Fprintf(&b, "  memory valve:       %d throttled passes\n", st.MemThrottles)
+	}
+	if st.InvariantSweeps > 0 {
+		fmt.Fprintf(&b, "  invariant sweeps:   %d in-run\n", st.InvariantSweeps)
+	}
 	fmt.Fprintf(&b, "  events recycled:    %d (pool hit rate %.3f, %d allocs avoided)\n",
 		st.EventsRecycled, st.PoolHitRate, st.PoolHits)
 	if st.PayloadsRecycled > 0 {

@@ -1,0 +1,68 @@
+package simcheck
+
+import (
+	"testing"
+)
+
+// TestMemoryBoundDifferential is the pressure valve's differential gate:
+// a PHOLD cell run with the per-PE live-event budget squeezed to ~25% of
+// the unbounded run's peak must commit the identical trace and final
+// state, while core.Stats proves the valve both engaged and held.
+func TestMemoryBoundDifferential(t *testing.T) {
+	base := Cell{Model: "phold", Engine: EngOptimistic, PEs: 4, KPs: 8, Queue: "heap", Seed: 42}
+	free, err := RunCell(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.Stats.LivePeak < 8 {
+		t.Fatalf("unbounded live peak %d too small to squeeze; tune the cell", free.Stats.LivePeak)
+	}
+
+	bounded := base
+	bounded.MaxLive = int(free.Stats.LivePeak / 4)
+	if bounded.MaxLive < 2 {
+		bounded.MaxLive = 2
+	}
+	bounded.Paranoid = true // the gauge identity is checked every sweep
+	got, err := RunCell(bounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := compare(free.FP, got.FP); len(diffs) > 0 {
+		t.Fatalf("bounded run diverged from unbounded: %v", diffs)
+	}
+	if got.Stats.MemThrottles == 0 {
+		t.Fatalf("valve never engaged at budget %d (unbounded peak %d)", bounded.MaxLive, free.Stats.LivePeak)
+	}
+	// Per-pass overshoot is bounded by the cell batch size plus the events
+	// already below GVT+window when the clamp bit; the default window for
+	// this cell (EndTime/64 ≈ 0.6 vs mean delay 1) keeps that to a handful.
+	slack := int64(cellBatchSize + 16)
+	if got.Stats.LivePeak > int64(bounded.MaxLive)+slack {
+		t.Fatalf("bounded live peak %d exceeds budget %d + slack %d",
+			got.Stats.LivePeak, bounded.MaxLive, slack)
+	}
+}
+
+// TestMemoryBoundSweepInMatrix: the Smoke matrix carries bounded
+// optimistic cells, and they must differ from their unbounded twins only
+// in scheduling — i.e. the matrix reports zero divergences (covered by
+// TestSmokeMatrix) and actually contains maxlive cells.
+func TestMemoryBoundSweepInMatrix(t *testing.T) {
+	m := Smoke()
+	found := false
+	for _, model := range m.Models {
+		spec := models[model]
+		for _, c := range m.cells(model, m.Seeds[0], spec) {
+			if c.MaxLive > 0 {
+				if c.Engine != EngOptimistic {
+					t.Fatalf("bounded cell on non-optimistic engine: %s", c)
+				}
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("Smoke matrix carries no memory-bounded cells")
+	}
+}

@@ -113,12 +113,15 @@ func (Runner) Build(spec replay.Spec, eng replay.Engine, bootstrap bool) (*repla
 	return ri, nil
 }
 
-// autoRecord re-records a diverging optimistic cell through the replay
+// AutoRecord re-records a diverging optimistic cell through the replay
 // subsystem, shrinks the recording to a minimal failing log, and writes it
-// under dir. If the shrink cannot reproduce the failure (a flaky
-// divergence) the unshrunk recording is written instead — a recording of
-// the diverging configuration is still the best available artifact.
-func autoRecord(dir string, c Cell, logf func(format string, args ...any)) (string, error) {
+// under dir, returning the artifact path. If the shrink cannot reproduce
+// the failure (a flaky divergence) the unshrunk recording is written
+// instead — a recording of the diverging configuration is still the best
+// available artifact. Matrix.AutoRecord uses it for every diverging
+// optimistic cell; the soak harness calls it directly for failed
+// episodes. logf must be non-nil.
+func AutoRecord(dir string, c Cell, logf func(format string, args ...any)) (string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err
 	}

@@ -57,6 +57,16 @@ type Cell struct {
 	// Faults is the kernel fault plan; only meaningful for the optimistic
 	// engine.
 	Faults *core.Faults
+	// MaxLive, when positive, arms the kernel's fossil-collection pressure
+	// valve (core.Config.MaxLiveEvents) on optimistic cells: each PE's
+	// executed-but-uncommitted events are capped at this budget. The valve
+	// is scheduling-only, so a bounded cell must fingerprint identically
+	// to its unbounded twin.
+	MaxLive int
+	// Paranoid enables the kernel's invariant checks on optimistic cells,
+	// including the in-run sweep every few scheduler passes — the soak
+	// harness's live-invariant mode.
+	Paranoid bool
 	// Mutation is the deliberately seeded bug, if any (self-test only).
 	Mutation Mutation
 }
@@ -67,6 +77,12 @@ func (c Cell) String() string {
 		c.Model, c.Engine, c.PEs, c.KPs, c.Queue, c.Seed)
 	if c.Faults != nil {
 		fmt.Fprintf(&b, " faults=%+v", *c.Faults)
+	}
+	if c.MaxLive > 0 {
+		fmt.Fprintf(&b, " maxlive=%d", c.MaxLive)
+	}
+	if c.Paranoid {
+		b.WriteString(" paranoid")
 	}
 	if c.Mutation != MutNone {
 		fmt.Fprintf(&b, " mutation=%s", c.Mutation)
@@ -121,6 +137,11 @@ func (d Divergence) String() string {
 	return b.String()
 }
 
+// Compare returns the list of fingerprint fields where got differs from
+// ref; empty means the runs committed identical results. The soak harness
+// uses it to judge episodes outside a Matrix run.
+func Compare(ref, got Fingerprint) []string { return compare(ref, got) }
+
 // compare returns the list of fingerprint fields where got differs from
 // ref; empty means the runs committed identical results.
 func compare(ref, got Fingerprint) []string {
@@ -171,6 +192,10 @@ type Matrix struct {
 	// Faults are the kernel fault plans to sweep; nil entries mean a clean
 	// run, and non-nil entries apply only to optimistic cells.
 	Faults []*core.Faults
+	// MemBounds are the per-PE live-event budgets to sweep (Cell.MaxLive);
+	// 0 entries mean unbounded, and positive entries apply only to
+	// optimistic cells. Empty means unbounded only.
+	MemBounds []int
 	// Mutation arms a seeded bug in every non-sequential cell; the
 	// reference stays clean so the self-test can assert the harness
 	// reports the divergence.
@@ -186,13 +211,14 @@ type Matrix struct {
 // counts, two seeds, clean and fault-injected. It finishes in seconds.
 func Smoke() Matrix {
 	return Matrix{
-		Models:  []string{"hotpotato", "phold"},
-		Engines: Engines(),
-		PEs:     []int{2, 4},
-		KPs:     []int{8},
-		Queues:  []string{"heap"},
-		Seeds:   []uint64{1, 42},
-		Faults:  []*core.Faults{nil, DefaultFaults(), BurstFaults()},
+		Models:    []string{"hotpotato", "phold"},
+		Engines:   Engines(),
+		PEs:       []int{2, 4},
+		KPs:       []int{8},
+		Queues:    []string{"heap"},
+		Seeds:     []uint64{1, 42},
+		Faults:    []*core.Faults{nil, DefaultFaults(), BurstFaults()},
+		MemBounds: []int{0, 10},
 	}
 }
 
@@ -200,13 +226,14 @@ func Smoke() Matrix {
 // and a second KP granularity.
 func Full() Matrix {
 	return Matrix{
-		Models:  ModelNames(),
-		Engines: Engines(),
-		PEs:     []int{1, 2, 4},
-		KPs:     []int{4, 16},
-		Queues:  []string{"heap", "splay"},
-		Seeds:   []uint64{1, 7, 42, 1234},
-		Faults:  []*core.Faults{nil, DefaultFaults(), BurstFaults()},
+		Models:    ModelNames(),
+		Engines:   Engines(),
+		PEs:       []int{1, 2, 4},
+		KPs:       []int{4, 16},
+		Queues:    []string{"heap", "splay"},
+		Seeds:     []uint64{1, 7, 42, 1234},
+		Faults:    []*core.Faults{nil, DefaultFaults(), BurstFaults()},
+		MemBounds: []int{0, 6, 24},
 	}
 }
 
@@ -239,6 +266,42 @@ func BurstFaults() *core.Faults {
 	}
 }
 
+// Injector is one kernel fault injector (core.Faults) as a composable
+// toggle, so tests and the soak scheduler can build arbitrary
+// compositions from the same canonical list instead of hand-rolling
+// plans. Arm enables the injector on a plan; level in [0, 3] scales its
+// aggressiveness (0 is the mildest setting, not off).
+type Injector struct {
+	Name string
+	Arm  func(f *core.Faults, level int)
+}
+
+// Injectors returns the canonical list of kernel fault injectors, one per
+// independent core.Faults mechanism. The pairwise composition tests and
+// the soak harness's randomized schedules both draw from this list, so a
+// new injector added here is automatically composed everywhere.
+func Injectors() []Injector {
+	return []Injector{
+		{"rollback", func(f *core.Faults, level int) {
+			f.RollbackEvery = 4 - min(level, 3)
+			f.RollbackDepth = 2 + level
+		}},
+		{"gvtdelay", func(f *core.Faults, level int) {
+			f.GVTDelay = 1 + level
+		}},
+		{"shuffle", func(f *core.Faults, level int) {
+			f.ShuffleMail = true
+		}},
+		{"burst", func(f *core.Faults, level int) {
+			f.MailBurst = 2 + level
+		}},
+		{"throttle", func(f *core.Faults, level int) {
+			f.ThrottlePEs = 1
+			f.ThrottleBatch = 1 + level/2
+		}},
+	}
+}
+
 // cells expands the matrix into concrete cells. The sequential engine is
 // deterministic in PEs/KPs/faults, so it collapses to one cell per (model,
 // queue, seed); fault plans apply only to the optimistic engine.
@@ -249,31 +312,37 @@ func (m Matrix) cells(model string, seed uint64, spec *modelSpec) []Cell {
 		if !spec.engines[eng] {
 			continue
 		}
-		pes, kps, faults := m.PEs, m.KPs, m.Faults
+		pes, kps, faults, bounds := m.PEs, m.KPs, m.Faults, m.MemBounds
 		if eng == EngSequential {
 			pes, kps = []int{1}, []int{1}
 		}
 		if eng != EngOptimistic {
 			faults = []*core.Faults{nil}
+			bounds = []int{0}
 		}
 		if len(faults) == 0 {
 			faults = []*core.Faults{nil}
+		}
+		if len(bounds) == 0 {
+			bounds = []int{0}
 		}
 		for _, pe := range pes {
 			for _, kp := range kps {
 				for _, q := range m.Queues {
 					for _, f := range faults {
-						c := Cell{
-							Model: model, Engine: eng,
-							PEs: pe, KPs: kp, Queue: q, Seed: seed,
-							Faults: f,
-						}
-						if eng != EngSequential {
-							c.Mutation = m.Mutation
-						}
-						if key := c.String(); !seen[key] {
-							seen[key] = true
-							out = append(out, c)
+						for _, ml := range bounds {
+							c := Cell{
+								Model: model, Engine: eng,
+								PEs: pe, KPs: kp, Queue: q, Seed: seed,
+								Faults: f, MaxLive: ml,
+							}
+							if eng != EngSequential {
+								c.Mutation = m.Mutation
+							}
+							if key := c.String(); !seen[key] {
+								seen[key] = true
+								out = append(out, c)
+							}
 						}
 					}
 				}
@@ -384,7 +453,7 @@ func Run(m Matrix, logf func(format string, args ...any)) *Report {
 					rep.Divergences = append(rep.Divergences, Divergence{Ref: refCell, Got: c, Details: diffs})
 					logf("FAIL [%s] %s", c, strings.Join(diffs, "; "))
 					if m.AutoRecord != "" && c.Engine == EngOptimistic {
-						if path, err := autoRecord(m.AutoRecord, c, logf); err != nil {
+						if path, err := AutoRecord(m.AutoRecord, c, logf); err != nil {
 							logf("auto-record [%s] failed: %v", c, err)
 						} else {
 							rep.Artifacts = append(rep.Artifacts, path)
@@ -416,10 +485,24 @@ type instance struct {
 	describe trace.Describe
 }
 
+// cellSweepEvery is the in-run invariant sweep cadence paranoid cells run
+// with: aggressive enough that corruption surfaces within a few passes of
+// appearing, cheap enough for hours-scale soaking.
+const cellSweepEvery = 8
+
 // instrument wraps every LP handler with the cell's mutation (if any) and
-// commit-time trace recording. Recording is unbounded so the trace hash
-// always covers the whole run.
+// commit-time trace recording, and arms the cell's post-construction
+// kernel knobs (memory bound, paranoid sweeps) on optimistic hosts.
+// Recording is unbounded so the trace hash always covers the whole run.
 func (in *instance) instrument(c Cell) {
+	if sim, ok := in.host.(*core.Simulator); ok {
+		if c.MaxLive > 0 {
+			sim.SetMemoryBound(c.MaxLive, 0)
+		}
+		if c.Paranoid {
+			sim.SetParanoid(cellSweepEvery)
+		}
+	}
 	in.rec = trace.NewRecorder(0)
 	in.host.ForEachLP(func(lp *core.LP) {
 		h := lp.Handler
@@ -431,6 +514,14 @@ func (in *instance) instrument(c Cell) {
 		}
 		lp.Handler = trace.Wrap(h, in.rec, in.describe)
 	})
+}
+
+// SupportsEngine reports whether the named model ships a builder for eng.
+// Schedule generators use it to avoid emitting cells RunCell would reject
+// (e.g. qnet has no conservative builder).
+func SupportsEngine(model string, eng EngineKind) bool {
+	spec, ok := models[model]
+	return ok && spec.engines[eng]
 }
 
 // ModelNames returns the models the harness knows, sorted.
