@@ -58,6 +58,32 @@ func TestParseBench(t *testing.T) {
 	}
 }
 
+func TestBestOf(t *testing.T) {
+	in := []Result{
+		{Name: "A", NsPerOp: 300, AllocsPerOp: 7, Metrics: map[string]float64{"ev/s": 10}},
+		{Name: "B", NsPerOp: 50},
+		{Name: "A", NsPerOp: 100, AllocsPerOp: 9, Metrics: map[string]float64{"ev/s": 30}},
+		{Name: "A", NsPerOp: 200, AllocsPerOp: 8},
+		{Name: "B", NsPerOp: 60},
+	}
+	out := bestOf(in)
+	if len(out) != 2 {
+		t.Fatalf("got %d results, want 2", len(out))
+	}
+	// First-appearance order, whole-sample selection: A keeps its fastest
+	// run's allocs and metrics, not a per-field minimum.
+	a, b := out[0], out[1]
+	if a.Name != "A" || b.Name != "B" {
+		t.Fatalf("order not preserved: %q, %q", a.Name, b.Name)
+	}
+	if a.NsPerOp != 100 || a.AllocsPerOp != 9 || a.Metrics["ev/s"] != 30 {
+		t.Errorf("A kept the wrong sample: %+v", a)
+	}
+	if b.NsPerOp != 50 {
+		t.Errorf("B kept the wrong sample: %+v", b)
+	}
+}
+
 func TestChecks(t *testing.T) {
 	f := parseSample(t)
 	// A baseline with double the allocations: the run halved them.

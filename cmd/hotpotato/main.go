@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/hotpotato"
@@ -36,7 +37,9 @@ func main() {
 		pes        = flag.Int("pes", 0, "processing elements (0 = GOMAXPROCS)")
 		kps        = flag.Int("kps", 64, "kernel processes (the report's model uses 64)")
 		queue      = flag.String("queue", "heap", "pending queue: heap or splay")
+		gvtMode    = flag.String("gvt", "", "GVT algorithm: async (circulating token, the default) or barrier")
 		maxOpt     = flag.Float64("max-optimism", 0, "bound speculation to this many steps beyond GVT (0 = unlimited)")
+		adaptive   = flag.Bool("adaptive", false, "adapt each PE's optimism window to its rollback efficiency")
 		sequential = flag.Bool("sequential", false, "run the sequential reference engine instead of Time Warp")
 		kernel     = flag.Bool("kernel", false, "also print kernel statistics")
 		progress   = flag.Bool("progress", false, "report GVT progress to stderr during long parallel runs")
@@ -57,24 +60,26 @@ func main() {
 		fatal(err)
 	}
 	cfg := hotpotato.Config{
-		N:               *n,
-		Topology:        *topo,
-		Policy:          policy,
-		Traffic:         traf,
-		InjectorPercent: *inject,
-		AbsorbSleeping:  *absorb,
-		InitialFill:     *fill,
-		Steps:           *steps,
-		Heartbeat:       *heartbeat,
-		Seed:            *seed,
-		NumPEs:          *pes,
-		NumKPs:          *kps,
-		Queue:           *queue,
-		MaxOptimism:     core.Time(*maxOpt),
+		N:                *n,
+		Topology:         *topo,
+		Policy:           policy,
+		Traffic:          traf,
+		InjectorPercent:  *inject,
+		AbsorbSleeping:   *absorb,
+		InitialFill:      *fill,
+		Steps:            *steps,
+		Heartbeat:        *heartbeat,
+		Seed:             *seed,
+		NumPEs:           *pes,
+		NumKPs:           *kps,
+		Queue:            *queue,
+		GVTMode:          *gvtMode,
+		MaxOptimism:      core.Time(*maxOpt),
+		AdaptiveOptimism: *adaptive,
 	}
 	if *progress && !*sequential {
 		// Throttle to roughly one line per percent of virtual time; OnGVT
-		// runs with all PEs paused, so keep it cheap.
+		// runs on PE 0's goroutine mid-round, so keep it cheap.
 		var last core.Time = -1
 		stride := core.Time(*steps) / 100
 		if stride < 1 {
@@ -123,6 +128,11 @@ func main() {
 		ks.EventsRecycled, ks.PoolHitRate, ks.PayloadsRecycled)
 	fmt.Printf("comms: %d remote msgs in %d batches (avg %.1f), peak drain %d, %d parks, %d wakes\n",
 		ks.MailSent, ks.BatchesFlushed, ks.AvgBatchSize, ks.MailboxPeak, ks.Parks, ks.Wakes)
+	if ks.GVTRounds > 0 {
+		avg := ks.GVTLatency / time.Duration(ks.GVTRounds)
+		fmt.Printf("gvt: %d %s rounds, avg latency %v, %v total wait, %d throttled passes\n",
+			ks.GVTRounds, ks.GVTMode, avg.Round(time.Microsecond), ks.GVTWait.Round(time.Microsecond), ks.OptClamps)
+	}
 	fmt.Print(totals)
 	if *kernel {
 		fmt.Print(ks)

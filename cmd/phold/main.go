@@ -28,6 +28,8 @@ func main() {
 		kps        = flag.Int("kps", 0, "kernel processes (0 = default)")
 		queue      = flag.String("queue", "heap", "pending queue: heap or splay")
 		maxOpt     = flag.Float64("max-optimism", 0, "bound speculation to this far beyond GVT (0 = unlimited)")
+		gvtMode    = flag.String("gvt", "", "GVT algorithm: async (circulating token, the default) or barrier")
+		adaptive   = flag.Bool("adaptive", false, "adapt each PE's optimism window to its rollback efficiency")
 		sequential = flag.Bool("sequential", false, "run the sequential reference engine")
 	)
 	prof := profiling.AddFlags(flag.CommandLine)
@@ -39,17 +41,19 @@ func main() {
 	}
 
 	cfg := phold.Config{
-		NumLPs:      *lps,
-		Population:  *population,
-		RemoteProb:  *remote,
-		MeanDelay:   *mean,
-		Lookahead:   *lookahead,
-		EndTime:     core.Time(*end),
-		Seed:        *seed,
-		NumPEs:      *pes,
-		NumKPs:      *kps,
-		Queue:       *queue,
-		MaxOptimism: core.Time(*maxOpt),
+		NumLPs:           *lps,
+		Population:       *population,
+		RemoteProb:       *remote,
+		MeanDelay:        *mean,
+		Lookahead:        *lookahead,
+		EndTime:          core.Time(*end),
+		Seed:             *seed,
+		NumPEs:           *pes,
+		NumKPs:           *kps,
+		Queue:            *queue,
+		MaxOptimism:      core.Time(*maxOpt),
+		GVTMode:          *gvtMode,
+		AdaptiveOptimism: *adaptive,
 	}
 
 	var (

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"sync"
+	"time"
 )
 
 // errBarrierBroken is returned from barrier waits after a PE has failed;
@@ -57,54 +58,64 @@ func (b *barrier) poison() {
 	b.mu.Unlock()
 }
 
-// requestGVT asks every PE to rendezvous for a GVT round at its next
-// scheduling boundary. Under the GVTDelay fault only every (n+1)-th request
-// goes through; a suppressed request is safe because every path that needs
-// GVT to advance (idle spin, optimism throttle, batch quota) re-requests
-// until the round actually happens.
+// await is the PE-side barrier wait: it charges the blocked time to this
+// PE's gvtWait shard, which is the barrier-mode half of the GVT wait-time
+// statistic (the async mode charges time the token spends blocked on
+// transient messages instead).
+func (pe *PE) await() error {
+	t0 := time.Now()
+	err := pe.sim.bar.await()
+	pe.gvtWait += time.Since(t0)
+	return err
+}
+
+// requestGVT asks for a GVT computation at the next opportunity: in barrier
+// mode every PE rendezvouses for a round at its next scheduling boundary;
+// in async mode PE 0 launches the token's next circulation. Under the
+// GVTDelay fault only every (n+1)-th request goes through; a suppressed
+// request is safe because every path that needs GVT to advance (idle spin,
+// optimism throttle, batch quota) re-requests until the round actually
+// happens.
 func (s *Simulator) requestGVT() {
 	if f := s.cfg.Faults; f != nil && f.GVTDelay > 0 {
 		if s.gvtDelayed.Add(1)%int64(f.GVTDelay+1) != 0 {
 			return
 		}
 	}
-	s.gvtRequested.Store(true)
-	// Parked PEs must join the round's barrier; wake them. (A PE that
-	// checks gvtRequested after this store never parks, so no sleeper is
-	// missed.)
-	s.wakeAll()
+	// Parked PEs must notice the request — in barrier mode to join the
+	// round, in async mode so PE 0 launches the token; wake them. (A PE
+	// that checks gvtRequested after this store never parks, so no sleeper
+	// is missed; the Swap makes an already-pending request free.)
+	if !s.gvtRequested.Swap(true) {
+		s.wakeAll()
+	}
 }
 
-// gvtRound is the synchronous shared-memory GVT computation, run by every
-// PE together (cf. Fujimoto's GVT algorithm, which ROSS uses on shared
-// memory). The round first reaches a fixed point where no message is in
-// flight — each PE repeatedly force-flushes its outbox and drains its
-// lanes (which may trigger rollbacks that send further anti-messages)
-// until the sent and delivered counts agree — then takes GVT as the
-// minimum pending event time across PEs, fossil-collects, and decides
-// termination.
+// commsFixedPoint drives every PE to the point where no message is in
+// flight: each repeatedly force-flushes its outbox and drains its lanes
+// (which may trigger rollbacks that send further anti-messages) until the
+// sent and delivered counts agree. Fujimoto's algorithm only needs the
+// in-flight count to agree at the fixed point, not a live global count, so
+// the counters are sharded: each PE owns plain mailSent/mailReceived fields
+// and PE 0 sums them between barriers. The barrier's mutex orders every
+// PE's writes before PE 0's reads (and PE 0's reads before anyone's next
+// write), so no atomics are needed. mailSent is bumped at outbox-append
+// time, which makes the fixed point cover outboxes and lanes alike: mail
+// held anywhere keeps the loop unstable, and its event cannot be
+// fossil-collected out from under it.
 //
-// Fujimoto's algorithm only needs the in-flight count to agree at the
-// fixed point, not a live global count, so the counters are sharded: each
-// PE owns plain mailSent/mailReceived fields and PE 0 sums them between
-// barriers. The barrier's mutex orders every PE's writes before PE 0's
-// reads (and PE 0's reads before anyone's next write), so no atomics are
-// needed. mailSent is bumped at outbox-append time, which makes the fixed
-// point cover outboxes and lanes alike: mail held anywhere keeps the loop
-// unstable, and its event cannot be fossil-collected out from under it.
-//
-// It returns done=true when GVT has passed the end time and this PE has
-// committed everything.
-func (pe *PE) gvtRound() (bool, error) {
+// Callers: every barrier-mode GVT round, and the async mode's one-time
+// shutdown drain.
+func (pe *PE) commsFixedPoint() error {
 	s := pe.sim
-	if err := s.bar.await(); err != nil {
-		return false, err
+	if err := pe.await(); err != nil {
+		return err
 	}
 	for {
 		pe.drainMailbox()
 		pe.flushMail(true)
-		if err := s.bar.await(); err != nil {
-			return false, err
+		if err := pe.await(); err != nil {
+			return err
 		}
 		if pe.id == 0 {
 			var sent, delivered int64
@@ -117,8 +128,8 @@ func (pe *PE) gvtRound() (bool, error) {
 			}
 			s.gvtStable.Store(sent == delivered)
 		}
-		if err := s.bar.await(); err != nil {
-			return false, err
+		if err := pe.await(); err != nil {
+			return err
 		}
 		if s.gvtStable.Load() {
 			break
@@ -126,12 +137,32 @@ func (pe *PE) gvtRound() (bool, error) {
 	}
 	if s.cfg.CheckInvariants {
 		// Comms quiescence must be checked here, while every PE is still
-		// between the round's barriers; after the final barrier other PEs
-		// resume sending and may refill this PE's lanes.
+		// between the fixed point's barriers; after the next barrier other
+		// PEs resume and may refill this PE's lanes.
 		if err := pe.checkQuiescentComms(); err != nil {
 			s.fail(err)
-			return false, err
+			return err
 		}
+	}
+	return nil
+}
+
+// gvtRound is the synchronous shared-memory GVT computation, run by every
+// PE together (cf. Fujimoto's GVT algorithm, which ROSS uses on shared
+// memory). The round first reaches the no-mail-in-flight fixed point
+// (commsFixedPoint), then takes GVT as the minimum pending event time
+// across PEs, fossil-collects, and decides termination.
+//
+// It returns done=true when GVT has passed the end time and this PE has
+// committed everything.
+func (pe *PE) gvtRound() (bool, error) {
+	s := pe.sim
+	var t0 time.Time
+	if pe.id == 0 {
+		t0 = time.Now()
+	}
+	if err := pe.commsFixedPoint(); err != nil {
+		return false, err
 	}
 
 	// All messages are now resident in pending queues; the local minimum
@@ -141,7 +172,7 @@ func (pe *PE) gvtRound() (bool, error) {
 		local = ev.recvTime
 	}
 	s.localMins[pe.id] = local
-	if err := s.bar.await(); err != nil {
+	if err := pe.await(); err != nil {
 		return false, err
 	}
 	if pe.id == 0 {
@@ -152,19 +183,20 @@ func (pe *PE) gvtRound() (bool, error) {
 			}
 		}
 		s.setGVT(gvt)
-		s.gvtRounds++
+		n := s.gvtRounds.Add(1)
 		if hook := s.cfg.OnGVT; hook != nil {
 			hook(gvt)
 		}
 		if rec := s.cfg.Record; rec != nil {
-			rec.GVTRound(s.gvtRounds, gvt)
+			rec.GVTRound(n, gvt)
 		}
 		if gvt >= s.cfg.EndTime {
 			s.finished.Store(true)
 		}
 		s.gvtRequested.Store(false)
+		pe.gvtLatency += time.Since(t0)
 	}
-	if err := s.bar.await(); err != nil {
+	if err := pe.await(); err != nil {
 		return false, err
 	}
 	done := s.finished.Load()
@@ -175,6 +207,9 @@ func (pe *PE) gvtRound() (bool, error) {
 		gvt = TimeInfinity
 	}
 	pe.fossilCollect(gvt)
+	if pe.opt != nil {
+		pe.opt.observe(pe.processed, pe.rolledBackEvents)
+	}
 	if s.cfg.CheckInvariants {
 		if err := pe.checkInvariants(gvt); err != nil {
 			s.fail(err)

@@ -150,6 +150,15 @@ func (pe *PE) post(dst *PE, msg mail) {
 	}
 	ob.bufs[d] = append(ob.bufs[d], msg)
 	pe.mailSent++
+	if pe.sim.async {
+		// Token-GVT sender coverage: the open epoch's minimum receive time
+		// for this destination (see gvt_async.go). An anti-message carries
+		// its target's receive time, which bounds everything the
+		// cancellation can cause.
+		if t := msg.ev.recvTime; t < pe.outMin[d] {
+			pe.outMin[d] = t
+		}
+	}
 	if len(ob.bufs[d]) >= eagerFlushLen &&
 		(pe.faults == nil || pe.faults.plan.MailBurst == 0) {
 		pe.flushDst(d)
@@ -221,8 +230,10 @@ func (pe *PE) drainMailbox() {
 	for i := range pe.lanes {
 		before := len(msgs)
 		msgs = pe.lanes[i].drain(msgs)
-		if rec != nil && len(msgs) > before {
-			rec.MailBatch(pe.id, i, len(msgs)-before)
+		if rec != nil {
+			if n := len(msgs) - before; n > 0 {
+				rec.MailBatch(pe.id, i, n)
+			}
 		}
 	}
 	pe.batch = msgs
@@ -295,14 +306,19 @@ func (s *Simulator) wakeAll() {
 // after publishing parked=true closes the sleep/wake race: a sender either
 // observes parked=true after its lane push and wakes us, or pushed before
 // our store — in which case hasInbound sees its mail (the push's tail store
-// and our parked store are both sequentially consistent). The run loop only
-// calls park after a GVT round has come and gone with this PE continuously
-// idle, which proves no mail was in flight toward it when it went idle.
+// and our parked store are both sequentially consistent). The same argument
+// covers the async token: forwardToken stores the holder and then wakes the
+// successor, so either the wake finds us parked or our recheck sees the
+// holder store and bails — a PE can never sleep while holding the token.
+// In barrier mode the run loop additionally only calls park after a GVT
+// round has come and gone with this PE continuously idle, which proves no
+// mail was in flight toward it when it went idle.
 func (pe *PE) park() {
 	s := pe.sim
 	pe.parked.Store(true)
 	if pe.hasInbound() || len(pe.outbox.dirty) > 0 ||
-		s.gvtRequested.Load() || s.finished.Load() {
+		s.gvtRequested.Load() || s.finished.Load() ||
+		(s.async && s.token.holder.Load() == int64(pe.id)) {
 		pe.parked.Store(false)
 		return
 	}

@@ -36,8 +36,43 @@ type PE struct {
 	idleSpins int
 	// idleRound records that a GVT round completed while this PE was
 	// continuously idle; only then may it park, because the round's
-	// stability loop proved no mail was in flight toward it.
+	// stability loop proved no mail was in flight toward it. Barrier mode
+	// only; the async mode's equivalent is visitIdle/visitDone below.
 	idleRound bool
+
+	// Async-GVT state (allocated and used only under Config.GVTMode ==
+	// GVTAsync; see gvt_async.go). outMin[d] is the minimum receive time of
+	// mail posted to PE d in the open coverage epoch; epochs[d] holds the
+	// closed epochs still possibly in flight. Both are owner-only — the
+	// sender-side coverage scheme needs no cross-PE state beyond the lane
+	// indices the comms layer already publishes. lastFossil is the GVT
+	// estimate this PE last fossil-collected against.
+	outMin     []Time
+	epochs     [][]outEpoch
+	lastFossil Time
+	// lastContrib is the local minimum this PE folded into the token at
+	// its most recent visit: a standing promise that nothing it can still
+	// affect lies below that time. Natural execution honours it by
+	// causality (every rollback is triggered by covered mail); the forced-
+	// rollback injector must be clamped to it explicitly.
+	lastContrib Time
+	// tokenLaunched/roundStart are PE 0's round bookkeeping. idleMarked is
+	// set while the PE sits in its idle escalation; visitIdle/visitDone
+	// record whether the last token visit found it idle and which
+	// completed-round count that visit belongs to — the async parking
+	// precondition.
+	tokenLaunched bool
+	roundStart    time.Time
+	idleMarked    bool
+	visitIdle     bool
+	visitDone     int64
+	// obsRound is the completed-round count the optimism controller last
+	// observed at, so each round feeds it exactly one sample.
+	obsRound int64
+
+	// opt is the adaptive optimism controller, non-nil only under
+	// Config.AdaptiveOptimism (see throttle.go).
+	opt *optimismController
 
 	// faults is non-nil only when Config.Faults is set; see faults.go.
 	faults *peFaults
@@ -78,6 +113,9 @@ type PE struct {
 	parks              int64         //simlint:sharded
 	wakes              atomic.Int64  // bumped by the waker, not the owner: atomic, so not sharded
 	busy               time.Duration //simlint:sharded
+	gvtWait            time.Duration //simlint:sharded
+	gvtLatency         time.Duration //simlint:sharded
+	optClamps          int64         //simlint:sharded
 }
 
 // ID returns the PE index.
@@ -279,7 +317,17 @@ func (pe *PE) run() (err error) {
 		pe.drainMailbox()
 		pe.flushMail(false)
 
-		if s.gvtRequested.Load() {
+		if s.async {
+			// Asynchronous GVT: no rendezvous — notice termination, fossil-
+			// collect against any new estimate, move the token if held.
+			done, gerr := pe.asyncPass()
+			if gerr != nil {
+				return gerr
+			}
+			if done {
+				return nil
+			}
+		} else if s.gvtRequested.Load() {
 			done, gerr := pe.gvtRound()
 			if gerr != nil {
 				return gerr
@@ -296,10 +344,31 @@ func (pe *PE) run() (err error) {
 		if pe.faults != nil {
 			batch = pe.faults.batchCap(pe.id, batch)
 		}
+		if s.async && pe.sinceGVT >= s.cfg.BatchSize*s.cfg.GVTInterval {
+			// Speculation quota: in barrier mode a PE executes at most one
+			// GVT interval's worth of events before the round stops the
+			// world, which bounds how far commits can lag execution no
+			// matter how densely events are packed in virtual time. The
+			// token round has no such stop, so enforce the same bound by
+			// count: a PE that has executed a full interval since the last
+			// completed round idles (requesting rounds, below) until one
+			// completes and resets the counter. Time-based windows cannot
+			// catch this — any fixed width is wrong for some event density.
+			batch = 0
+		}
 		horizon := s.cfg.EndTime
 		if s.cfg.MaxOptimism > 0 {
 			if h := s.GVT() + s.cfg.MaxOptimism; h < horizon {
 				horizon = h
+			}
+		}
+		if pe.opt != nil {
+			// Adaptive optimism: the controller's window (never wider than
+			// MaxOptimism when that is set) tracks this PE's rollback
+			// efficiency; see throttle.go.
+			if h := s.GVT() + pe.opt.window; h < horizon {
+				horizon = h
+				pe.optClamps++
 			}
 		}
 		if b := s.cfg.MaxLiveEvents; b > 0 && pe.liveEvents >= int64(b) {
@@ -322,6 +391,15 @@ func (pe *PE) run() (err error) {
 			pe.pending.Pop()
 			pe.execute(ev)
 			n++
+			if s.async && s.token.holder.Load() == int64(pe.id) &&
+				(pe.id != 0 || pe.tokenLaunched || s.gvtRequested.Load()) {
+				// An actionable token visit is worth more than batch depth:
+				// every event the holder executes first adds a full event to
+				// the round's latency, and round latency is the bound on how
+				// far commits lag execution (so it directly sets the live-
+				// event population). The next pass flushes and visits.
+				break
+			}
 		}
 
 		if n == 0 {
@@ -338,12 +416,40 @@ func (pe *PE) run() (err error) {
 			if ev, ok := pe.nextLive(); ok && ev.recvTime < s.cfg.EndTime {
 				throttled = true
 			}
+			pe.idleMarked = true
 			pe.idleSpins++
 			if pe.idleSpins < minIdleThreshold {
 				runtime.Gosched()
 				continue
 			}
 			pe.idleSpins = 0
+			if s.async {
+				// No barrier to rendezvous at. A throttled PE needs rounds
+				// until GVT advances past its horizon; an unthrottled idle PE
+				// needs one round whose token visit saw it idle to complete —
+				// that round either discovers termination or proves someone
+				// else still has the work, and only then is parking safe
+				// (otherwise every PE could fall asleep on a stale estimate
+				// with no round pending to notice the machine has drained).
+				// The token holder never parks — and it must also keep
+				// requesting rounds while idle: between rounds the token
+				// rests at its holder, so if the holder merely yielded, the
+				// other PEs could all park with the request flag clear and
+				// no round would ever launch to discover termination.
+				parkable := pe.visitIdle && s.gvtRounds.Load() >= pe.visitDone
+				holding := s.token.holder.Load() == int64(pe.id)
+				if throttled || !parkable || holding {
+					// Under the GVTDelay fault the request may be suppressed;
+					// re-requesting every threshold is what keeps that safe.
+					s.requestGVT()
+					runtime.Gosched()
+				} else if s.gvtRequested.Load() {
+					runtime.Gosched()
+				} else {
+					pe.park()
+				}
+				continue
+			}
 			if throttled || !pe.idleRound {
 				// Under the GVTDelay fault the request may be suppressed;
 				// re-requesting every threshold is what keeps that safe,
@@ -357,6 +463,8 @@ func (pe *PE) run() (err error) {
 		}
 		pe.idleSpins = 0
 		pe.idleRound = false
+		pe.idleMarked = false
+		pe.visitIdle = false
 		pe.sinceGVT += n
 		if sw := s.cfg.InvariantSweep; sw > 0 {
 			// In-run invariant sweep: validate this PE's own structures
@@ -382,7 +490,12 @@ func (pe *PE) run() (err error) {
 			}
 		}
 		if pe.sinceGVT >= s.cfg.BatchSize*s.cfg.GVTInterval {
-			pe.sinceGVT = 0
+			// In async mode the counter is the speculation quota above and
+			// only a completed round (asyncPass) may reset it; in barrier
+			// mode the request itself guarantees a round is imminent.
+			if !s.async {
+				pe.sinceGVT = 0
+			}
 			s.requestGVT()
 		}
 	}

@@ -32,6 +32,25 @@ type Config struct {
 	BatchSize int
 	// GVTInterval is the number of batches between GVT rounds. Default 16.
 	GVTInterval int
+	// GVTMode selects the GVT algorithm. GVTAsync (the default) circulates
+	// a Mattern-style token over the mail lanes: no PE ever blocks on a
+	// barrier, each learns new estimates from the token and fossil-collects
+	// on its own schedule. GVTBarrier is the stop-the-world Fujimoto round
+	// that rendezvouses every PE; it remains selectable so the differential
+	// harness can verify the two algorithms against each other (and the
+	// sequential oracle). See gvt.go and gvt_async.go.
+	GVTMode string
+	// AdaptiveOptimism enables the per-PE optimism controller: each PE's
+	// speculation horizon widens and narrows with its observed rollback
+	// efficiency (committed/executed per interval), generalizing the static
+	// MaxOptimism bound. Scheduling-only, so committed results are
+	// unaffected. The async GVT mode always runs the controller — barrier
+	// rounds stop the world and so quench rollback cascades as a side
+	// effect, but asynchronous rounds never pause anyone, and on tightly
+	// coupled models unthrottled speculation can collapse into cascade
+	// thrash where GVT barely advances. This flag arms the controller for
+	// barrier mode too. See throttle.go.
+	AdaptiveOptimism bool
 	// Queue selects the pending-queue implementation: "heap" (default) or
 	// "splay".
 	Queue string
@@ -88,8 +107,10 @@ type Config struct {
 
 	// OnGVT, when set, is called once per GVT round with the new estimate
 	// (TimeInfinity when the event population has drained). It runs on
-	// PE 0 while every PE is paused at the round's barrier, so it may
-	// read simulator state but must not block for long.
+	// PE 0 — in barrier mode while every PE is paused at the round's
+	// barrier, in async mode while the other PEs keep executing — so it
+	// must not block for long, and under the async default it must not
+	// assume the machine is quiescent.
 	OnGVT func(gvt Time)
 	// OnRollback, when set, is called after each rollback with the KP
 	// that rolled back, how many events were reversed, and whether the
@@ -168,6 +189,13 @@ func (cfg *Config) setDefaults() error {
 	default:
 		return fmt.Errorf("core: unknown queue kind %q", cfg.Queue)
 	}
+	switch cfg.GVTMode {
+	case "":
+		cfg.GVTMode = GVTAsync
+	case GVTAsync, GVTBarrier:
+	default:
+		return fmt.Errorf("core: unknown GVT mode %q", cfg.GVTMode)
+	}
 	if cfg.MaxLiveEvents < 0 || cfg.InvariantSweep < 0 {
 		return errors.New("core: MaxLiveEvents and InvariantSweep must be non-negative")
 	}
@@ -198,6 +226,14 @@ func (cfg *Config) defaultPressureWindow() Time {
 	return cfg.EndTime / 64
 }
 
+// The Config.GVTMode values.
+const (
+	// GVTAsync is the asynchronous token GVT (gvt_async.go).
+	GVTAsync = "async"
+	// GVTBarrier is the synchronous barrier GVT (gvt.go).
+	GVTBarrier = "barrier"
+)
+
 // Host is the setup interface shared by the parallel Simulator and the
 // Sequential reference engine; models install themselves against it so one
 // setup function serves both (which is what makes the sequential-vs-
@@ -227,7 +263,12 @@ type Simulator struct {
 	finished     atomic.Bool
 	gvtBits      atomic.Uint64
 	localMins    []Time
-	gvtRounds    int64
+	gvtRounds    atomic.Int64
+
+	// async selects the token GVT (Config.GVTMode == GVTAsync); token is
+	// its circulating state. See gvt_async.go.
+	async bool
+	token gvtToken
 
 	failOnce sync.Once
 	failErr  error
@@ -286,6 +327,25 @@ func New(cfg Config) (*Simulator, error) {
 	}
 	s.bar = newBarrier(cfg.NumPEs)
 	s.localMins = make([]Time, cfg.NumPEs)
+	s.async = cfg.GVTMode == GVTAsync
+	if s.async {
+		for _, pe := range s.pes {
+			pe.outMin = make([]Time, cfg.NumPEs)
+			for d := range pe.outMin {
+				pe.outMin[d] = TimeInfinity
+			}
+			pe.epochs = make([][]outEpoch, cfg.NumPEs)
+		}
+	}
+	if (cfg.AdaptiveOptimism || s.async) && cfg.NumPEs > 1 {
+		// Async GVT has no stop-the-world quench, so the controller is not
+		// optional there (see Config.AdaptiveOptimism). A single-PE machine
+		// executes in timestamp order and cannot roll back, so throttling it
+		// would only cap batch depth for nothing.
+		for _, pe := range s.pes {
+			pe.opt = newOptimismController(&s.cfg, runtime.GOMAXPROCS(0))
+		}
+	}
 	s.setGVT(0)
 	return s, nil
 }

@@ -20,6 +20,17 @@ type PEStats struct {
 	MailSent        int64
 	MailReceived    int64
 	Busy            time.Duration
+	// GVTWait is the time this PE spent blocked at GVT barriers — the
+	// per-round rendezvous in barrier mode, and only the one-time shutdown
+	// drain in async mode, whose token visits never wait (sender-side
+	// coverage; see gvt_async.go). GVTLatency, nonzero on PE 0 only,
+	// totals round latency — barrier-entry to estimate in barrier mode,
+	// token launch to return in async mode. OptClamps counts
+	// scheduler passes where the adaptive optimism window (rather than a
+	// static bound) clamped this PE's horizon.
+	GVTWait    time.Duration
+	GVTLatency time.Duration
+	OptClamps  int64
 
 	// Comms counters (see mailbox.go). BatchesFlushed counts outbox
 	// batches pushed into lanes, BatchedMessages the messages they
@@ -86,11 +97,20 @@ type Stats struct {
 	MailSent           int64
 	MailReceived       int64
 	GVTRounds          int64
-	NumPEs             int
-	NumKPs             int
-	Wall               time.Duration
-	EventRate          float64 // committed events per wall-clock second
-	Efficiency         float64 // committed / processed
+	// GVTMode names the GVT algorithm the run used (Config.GVTMode).
+	// GVTLatency is the total round latency (launch to estimate) and
+	// GVTWait the summed per-PE time blocked at GVT barriers (async mode
+	// has none mid-run; see PEStats). OptClamps totals the passes clamped
+	// by the adaptive optimism window (Config.AdaptiveOptimism).
+	GVTMode    string
+	GVTLatency time.Duration
+	GVTWait    time.Duration
+	OptClamps  int64
+	NumPEs     int
+	NumKPs     int
+	Wall       time.Duration
+	EventRate  float64 // committed events per wall-clock second
+	Efficiency float64 // committed / processed
 	// PeakLiveEvents sums the per-KP high-water marks: the optimistic
 	// memory footprint in events.
 	PeakLiveEvents int
@@ -150,7 +170,8 @@ func (st *Stats) finishPools() {
 //simlint:crosspe post-Run read; the goroutine joins order all PE counter writes before this
 func (s *Simulator) collectStats(wall time.Duration) *Stats {
 	st := &Stats{
-		GVTRounds: s.gvtRounds,
+		GVTRounds: s.gvtRounds.Load(),
+		GVTMode:   s.cfg.GVTMode,
 		NumPEs:    len(s.pes),
 		NumKPs:    len(s.kps),
 		Wall:      wall,
@@ -167,6 +188,9 @@ func (s *Simulator) collectStats(wall time.Duration) *Stats {
 			MailSent:           pe.mailSent,
 			MailReceived:       pe.mailReceived,
 			Busy:               pe.busy,
+			GVTWait:            pe.gvtWait,
+			GVTLatency:         pe.gvtLatency,
+			OptClamps:          pe.optClamps,
 			BatchesFlushed:     pe.batchesFlushed,
 			BatchedMessages:    pe.batchedMessages,
 			MailboxPeak:        pe.mailboxPeak,
@@ -199,6 +223,9 @@ func (s *Simulator) collectStats(wall time.Duration) *Stats {
 		st.InvariantSweeps += ps.InvariantSweeps
 		st.Parks += ps.Parks
 		st.Wakes += ps.Wakes
+		st.GVTWait += ps.GVTWait
+		st.GVTLatency += ps.GVTLatency
+		st.OptClamps += ps.OptClamps
 	}
 	if st.BatchesFlushed > 0 {
 		st.AvgBatchSize = float64(st.BatchedMessages) / float64(st.BatchesFlushed)
@@ -242,7 +269,19 @@ func (st *Stats) String() string {
 		fmt.Fprintf(&b, "  comms:              %d batches (avg %.1f msgs), peak drain %d, %d parks, %d wakes\n",
 			st.BatchesFlushed, st.AvgBatchSize, st.MailboxPeak, st.Parks, st.Wakes)
 	}
-	fmt.Fprintf(&b, "  GVT rounds:         %d\n", st.GVTRounds)
+	mode := st.GVTMode
+	if mode == "" {
+		mode = "barrier"
+	}
+	avgLatency := time.Duration(0)
+	if st.GVTRounds > 0 {
+		avgLatency = st.GVTLatency / time.Duration(st.GVTRounds)
+	}
+	fmt.Fprintf(&b, "  GVT rounds:         %d (%s, avg latency %v, %v total wait)\n",
+		st.GVTRounds, mode, avgLatency.Round(time.Microsecond), st.GVTWait.Round(time.Microsecond))
+	if st.OptClamps > 0 {
+		fmt.Fprintf(&b, "  adaptive optimism:  %d clamped passes\n", st.OptClamps)
+	}
 	fmt.Fprintf(&b, "  peak live events:   %d (peak %d concurrent on one PE)\n", st.PeakLiveEvents, st.LivePeak)
 	if st.MemThrottles > 0 {
 		fmt.Fprintf(&b, "  memory valve:       %d throttled passes\n", st.MemThrottles)

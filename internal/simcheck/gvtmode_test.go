@@ -1,0 +1,66 @@
+package simcheck
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestGVTModeDifferential is the async GVT algorithm's differential gate:
+// the same PHOLD cell run under the circulating-token algorithm and under
+// the stop-the-world barrier must commit the identical trace and final
+// state — GVT is scheduling-only, so the algorithm computing it must never
+// show through. Faulted twins stress the interesting interleavings (forced
+// rollbacks while the token circulates, suppressed round requests).
+func TestGVTModeDifferential(t *testing.T) {
+	base := Cell{Model: "phold", Engine: EngOptimistic, PEs: 4, KPs: 8, Queue: "heap", Seed: 42}
+	for _, faults := range []*core.Faults{nil, DefaultFaults(), BurstFaults()} {
+		async := base
+		async.GVTMode = core.GVTAsync
+		async.Faults = faults
+		barrier := base
+		barrier.GVTMode = core.GVTBarrier
+		barrier.Faults = faults
+
+		a, err := RunCell(async)
+		if err != nil {
+			t.Fatalf("[%s]: %v", async, err)
+		}
+		b, err := RunCell(barrier)
+		if err != nil {
+			t.Fatalf("[%s]: %v", barrier, err)
+		}
+		if diffs := compare(a.FP, b.FP); len(diffs) > 0 {
+			t.Fatalf("async diverged from barrier (faults=%+v): %v", faults, diffs)
+		}
+		if a.Stats.GVTMode != core.GVTAsync || b.Stats.GVTMode != core.GVTBarrier {
+			t.Fatalf("stats report wrong modes: %q vs %q", a.Stats.GVTMode, b.Stats.GVTMode)
+		}
+		if a.Stats.GVTRounds == 0 || b.Stats.GVTRounds == 0 {
+			t.Fatalf("a mode computed no GVT rounds: async=%d barrier=%d",
+				a.Stats.GVTRounds, b.Stats.GVTRounds)
+		}
+	}
+}
+
+// TestGVTModeSweepInMatrix: the Smoke matrix sweeps both GVT modes on
+// optimistic cells only — the divergence check itself is covered by
+// TestSmokeMatrix, so here we only assert the cells exist.
+func TestGVTModeSweepInMatrix(t *testing.T) {
+	m := Smoke()
+	modes := map[string]bool{}
+	for _, model := range m.Models {
+		spec := models[model]
+		for _, c := range m.cells(model, m.Seeds[0], spec) {
+			if c.GVTMode != "" {
+				if c.Engine != EngOptimistic {
+					t.Fatalf("GVT-mode cell on non-optimistic engine: %s", c)
+				}
+				modes[c.GVTMode] = true
+			}
+		}
+	}
+	if !modes[core.GVTAsync] || !modes[core.GVTBarrier] {
+		t.Fatalf("Smoke matrix misses a GVT mode: got %v", modes)
+	}
+}

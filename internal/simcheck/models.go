@@ -58,6 +58,7 @@ func buildHotpotato(c Cell, endTime core.Time) (*instance, error) {
 		NumKPs:          c.KPs,
 		BatchSize:       cellBatchSize,
 		GVTInterval:     cellGVTInterval,
+		GVTMode:         c.GVTMode,
 		Queue:           c.Queue,
 		Faults:          c.Faults,
 	}
@@ -132,6 +133,7 @@ func buildPHOLD(c Cell, endTime core.Time) (*instance, error) {
 		// GVTInterval below via kernel default would be too lazy; phold's
 		// Config exposes it directly.
 		GVTInterval: cellGVTInterval,
+		GVTMode:     c.GVTMode,
 		Queue:       c.Queue,
 		Faults:      c.Faults,
 	}
@@ -186,6 +188,7 @@ func buildQNet(c Cell, endTime core.Time) (*instance, error) {
 		NumKPs:         c.KPs,
 		BatchSize:      cellBatchSize,
 		GVTInterval:    cellGVTInterval,
+		GVTMode:        c.GVTMode,
 		Queue:          c.Queue,
 		Faults:         c.Faults,
 	}
