@@ -71,19 +71,28 @@ cover:
 # honest gate factor. The allocs gates are hardware-independent and also
 # police the speculation quota (unthrottled async speculation would blow
 # the event pool past its barrier-mode footprint).
+# The queue microbenchmark gates are absolute (speedup is splay's best
+# hold round over the ladder's within one sample, so the ratio is immune
+# to host-wide slowdowns): the ladder must beat the splay tree on the
+# mostly-increasing pattern at both gated populations. The ladder's
+# zero-steady-state-allocation property is gated by
+# TestLadderSteadyStateAllocs instead — benchjson treats a 0-valued field
+# as absent, so allocs/op == 0 cannot be asserted here.
 bench:
-	$(GO) test -run '^$$' -bench=. -benchtime=1x -count=3 -benchmem . \
+	$(GO) test -run '^$$' -bench=. -benchtime=1x -count=3 -benchmem . ./internal/eventq \
 	  | $(GO) run ./cmd/benchjson -best \
-	      -label "PR7 async GVT (default) vs PR6 barrier" \
-	      -baseline BENCH_PR6.json \
+	      -label "PR8 ladder queue (default) vs PR7 splay" \
+	      -baseline BENCH_PR7.json \
 	      -check 'KernelPHOLD/pe1:ns/op<=1.2*baseline' \
 	      -check 'KernelPHOLD/pe4:ns/op<=1.2*baseline' \
 	      -check 'KernelPHOLD/pe1:allocs/op<=1.05*baseline' \
 	      -check 'KernelPHOLD/pe4:allocs/op<=1.05*baseline' \
 	      -check 'KernelTorusComms/pe4:ns/op<=1.2*baseline' \
 	      -check 'KernelTorusComms/pe4:allocs/op<=1.05*baseline' \
-	      -out BENCH_PR7.json
-	@echo wrote BENCH_PR7.json
+	      -check 'QueueLadderVsSplay/n=100000:speedup>=1.0' \
+	      -check 'QueueLadderVsSplay/n=1000000:speedup>=1.0' \
+	      -out BENCH_PR8.json
+	@echo wrote BENCH_PR8.json
 
 # Every benchmark in every package, human-readable.
 bench-all:

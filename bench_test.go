@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/eventq"
 	"repro/internal/experiments"
 	"repro/internal/hotpotato"
 	"repro/internal/phold"
@@ -211,7 +212,7 @@ func BenchmarkBaselinePolicies(b *testing.B) {
 // BenchmarkAblationEventQueue compares the pending-queue implementations
 // under PHOLD (DESIGN.md ablation).
 func BenchmarkAblationEventQueue(b *testing.B) {
-	for _, q := range []string{"heap", "splay"} {
+	for _, q := range eventq.Kinds() {
 		b.Run(q, func(b *testing.B) {
 			var rate float64
 			for i := 0; i < b.N; i++ {

@@ -9,8 +9,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
+	"repro/internal/eventq"
 	"repro/internal/phold"
 	"repro/internal/profiling"
 )
@@ -26,7 +28,7 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "random seed")
 		pes        = flag.Int("pes", 0, "processing elements (0 = GOMAXPROCS)")
 		kps        = flag.Int("kps", 0, "kernel processes (0 = default)")
-		queue      = flag.String("queue", "heap", "pending queue: heap or splay")
+		queue      = flag.String("queue", "heap", "pending queue: "+strings.Join(eventq.Kinds(), ", "))
 		maxOpt     = flag.Float64("max-optimism", 0, "bound speculation to this far beyond GVT (0 = unlimited)")
 		gvtMode    = flag.String("gvt", "", "GVT algorithm: async (circulating token, the default) or barrier")
 		adaptive   = flag.Bool("adaptive", false, "adapt each PE's optimism window to its rollback efficiency")

@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/eventq"
 	"repro/internal/profiling"
 	"repro/internal/simcheck"
 )
@@ -33,7 +34,7 @@ func main() {
 		engines    = flag.String("engines", "", "comma-separated engines: sequential,conservative,optimistic")
 		pes        = flag.String("pes", "", "comma-separated PE counts")
 		kps        = flag.String("kps", "", "comma-separated KP counts")
-		queues     = flag.String("queues", "", "comma-separated pending-queue kinds: heap,splay")
+		queues     = flag.String("queues", "", "comma-separated pending-queue kinds: "+strings.Join(eventq.Kinds(), ","))
 		seeds      = flag.String("seeds", "", "comma-separated seeds")
 		faults     = flag.Bool("faults", true, "also run optimistic cells under the adversarial fault plan")
 		mutation   = flag.String("mutation", "", "arm a seeded bug (self-test demo): broken-reverse or broken-priority")

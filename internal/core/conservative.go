@@ -283,13 +283,15 @@ func (pe *consPE) run() (err error) {
 
 		// Execute this PE's share of the window; no other PE can produce
 		// events inside it, so no synchronisation is needed until the next
-		// barrier.
-		for {
-			ev, ok := pe.pending.Min()
-			if !ok || ev.recvTime >= end {
-				break
-			}
-			pe.pending.Pop()
+		// barrier. The whole window is one bulk drain: the bound sorts
+		// before every real event at the window end (real destinations
+		// are >= 0), and events sent during execution are strictly later
+		// than the event executing (positive delays), so same-window
+		// local sends are still delivered in-call — identical semantics
+		// to the former Min/Pop loop, minus the per-element rebalancing
+		// on the ladder.
+		bound := &Event{recvTime: end, dst: -1 << 31, src: -1 << 31}
+		eventq.Drain(pe.pending, bound, (*Event).before, func(ev *Event) {
 			lp := c.lps[ev.dst]
 			ev.state = stateProcessed
 			ev.Bits = 0
@@ -308,7 +310,7 @@ func (pe *consPE) run() (err error) {
 			ev.state = stateCommitted
 			pe.pool.release(lp, ev)
 			pe.processed++
-		}
+		})
 		if err := c.bar.await(); err != nil {
 			return err
 		}

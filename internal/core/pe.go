@@ -516,4 +516,34 @@ func (pe *PE) fossilCollect(gvt Time) {
 		pe.committed += delta
 		pe.liveEvents -= delta
 	}
+	pe.reclaimCanceled(gvt)
+}
+
+// reclaimCanceled sweeps the pending queue's below-GVT prefix back to the
+// pool. Only cancelled husks can live there: GVT is a lower bound on
+// every unprocessed live event, so anything pending below it must be an
+// event whose anti-message already struck. nextLive reclaims such husks
+// lazily, but only when they surface at the queue top — a cancelled
+// event buried behind the frontier would otherwise sit in the queue (and
+// in the pressure valve's gauge) until the run ends. Piggybacking the
+// sweep on fossil collection bounds that garbage by one GVT round, and
+// on the ladder the sweep is the BulkDrain fast path over an
+// already-sorted prefix. A live event below GVT is a kernel bug — a GVT
+// estimate that overtook an unprocessed event — and is loud, not
+// tolerated: the PE run loop's recover turns the panic into sim.fail.
+// The sweep stops at EndTime even when GVT has passed it (the final
+// collection reports TimeInfinity): beyond-horizon events are live,
+// pending and simply never executed.
+func (pe *PE) reclaimCanceled(gvt Time) {
+	if gvt > pe.sim.cfg.EndTime {
+		gvt = pe.sim.cfg.EndTime
+	}
+	bound := &Event{recvTime: gvt, dst: -1 << 31, src: -1 << 31}
+	eventq.Drain(pe.pending, bound, (*Event).before, func(ev *Event) {
+		if ev.state != stateCanceled {
+			panic(fmt.Sprintf("core: GVT violation: live pending event %s below GVT %g",
+				ev.String(), float64(gvt)))
+		}
+		pe.free(ev)
+	})
 }

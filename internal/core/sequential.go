@@ -38,10 +38,11 @@ func NewSequential(cfg Config) (*Sequential, error) {
 	if !(cfg.EndTime > 0) {
 		return nil, errors.New("core: Config.EndTime must be positive")
 	}
-	switch cfg.Queue {
-	case "", "heap", "splay":
-	default:
-		return nil, fmt.Errorf("core: unknown queue kind %q", cfg.Queue)
+	if cfg.Queue == "" {
+		cfg.Queue = "ladder" // same default as the parallel engines
+	}
+	if err := eventq.Valid(cfg.Queue); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	q := &Sequential{cfg: cfg}
 	q.lps = make([]*LP, cfg.NumLPs)
@@ -52,7 +53,7 @@ func NewSequential(cfg Config) (*Sequential, error) {
 			eng: q,
 		}
 	}
-	q.pending = eventq.New[*Event](cfg.Queue, func(a, b *Event) bool { return a.before(b) })
+	q.pending = newEventQueue(cfg.Queue)
 	return q, nil
 }
 
@@ -139,12 +140,16 @@ func (q *Sequential) Run() (*Stats, error) {
 	}
 	q.boot = nil
 	start := time.Now()
-	for {
-		ev, ok := q.pending.Min()
-		if !ok || ev.recvTime >= q.cfg.EndTime {
-			break
-		}
-		q.pending.Pop()
+	// One bulk drain to the horizon replaces the Min/Pop loop: the bound
+	// sorts before every real event at EndTime (real destinations are
+	// >= 0), so exactly the events with recvTime < EndTime execute. The
+	// ladder consumes its sorted runs directly; heap and splay take
+	// eventq.Drain's equivalent Min/Pop fallback. Events sent during
+	// execution land strictly later than the event being executed
+	// (LP.Send requires a positive delay), which is precisely the
+	// BulkDrain re-entrancy contract.
+	bound := &Event{recvTime: q.cfg.EndTime, dst: -1 << 31, src: -1 << 31}
+	eventq.Drain(q.pending, bound, (*Event).before, func(ev *Event) {
 		lp := q.lps[ev.dst]
 		ev.state = stateProcessed
 		ev.Bits = 0
@@ -163,7 +168,7 @@ func (q *Sequential) Run() (*Stats, error) {
 		ev.state = stateCommitted
 		q.pool.release(lp, ev)
 		q.processed++
-	}
+	})
 	wall := time.Since(start)
 	st := &Stats{
 		Processed: q.processed,

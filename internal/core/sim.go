@@ -51,8 +51,15 @@ type Config struct {
 	// thrash where GVT barely advances. This flag arms the controller for
 	// barrier mode too. See throttle.go.
 	AdaptiveOptimism bool
-	// Queue selects the pending-queue implementation: "heap" (default) or
-	// "splay".
+	// Queue selects the pending-queue implementation; any kind registered
+	// in eventq is accepted ("heap", "ladder", "splay"), and an empty
+	// value selects "ladder" — the calendar-family structure with
+	// amortised O(1) Push/Pop on the PDES access pattern, zero
+	// steady-state allocation, and a bulk below-bound drain fast path
+	// (roughly 3x splay's kernel event rate; see DESIGN.md, "Event
+	// queue"). The committed schedule is identical for every kind — the
+	// kernel's event order is total — so the choice is purely a
+	// performance knob, enforced by simcheck's queue dimension.
 	Queue string
 	// CheckInvariants enables paranoid mode: at every GVT round, while the
 	// machine is quiescent, each PE validates its structural invariants
@@ -184,10 +191,11 @@ func (cfg *Config) setDefaults() error {
 			}
 		}
 	}
-	switch cfg.Queue {
-	case "", "heap", "splay":
-	default:
-		return fmt.Errorf("core: unknown queue kind %q", cfg.Queue)
+	if cfg.Queue == "" {
+		cfg.Queue = "ladder"
+	}
+	if err := eventq.Valid(cfg.Queue); err != nil {
+		return fmt.Errorf("core: %w", err)
 	}
 	switch cfg.GVTMode {
 	case "":
@@ -322,8 +330,7 @@ func New(cfg Config) (*Simulator, error) {
 		s.lps[i] = lp
 	}
 	for _, pe := range s.pes {
-		less := func(a, b *Event) bool { return a.before(b) }
-		pe.pending = eventq.New[*Event](cfg.Queue, less)
+		pe.pending = newEventQueue(cfg.Queue)
 	}
 	s.bar = newBarrier(cfg.NumPEs)
 	s.localMins = make([]Time, cfg.NumPEs)
@@ -357,9 +364,20 @@ func streamID(seed uint64, lp int) uint64 {
 }
 
 // newEventQueue builds a pending queue ordered by the kernel's total
-// event order; shared by all three engines.
+// event order; shared by all three engines. The key projection hands
+// calendar-family kinds the receive time to bucket by — monotone with
+// respect to before(), whose first field is recvTime. The kind is
+// validated before any engine gets here (setDefaults, NewSequential,
+// NewConservative), so a constructor error is a kernel bug, not user
+// input.
 func newEventQueue(kind string) eventq.Queue[*Event] {
-	return eventq.New[*Event](kind, func(a, b *Event) bool { return a.before(b) })
+	q, err := eventq.New[*Event](kind,
+		func(a, b *Event) bool { return a.before(b) },
+		func(e *Event) float64 { return float64(e.recvTime) })
+	if err != nil {
+		panic("core: " + err.Error())
+	}
+	return q
 }
 
 // newLPStream builds the reversible stream for one LP under a seed.

@@ -1,14 +1,22 @@
 // Package eventq provides the pending-event priority queues used by the
-// Time Warp kernel: a binary heap and a splay tree, both parameterised
-// over the element type and a strict-weak-ordering comparison function.
+// Time Warp kernel: a binary heap, a splay tree and a ladder queue, all
+// parameterised over the element type and a strict-weak-ordering
+// comparison function.
 //
 // ROSS ships a splay tree as its default pending queue and a heap as an
-// alternative; both are provided here so the event-queue ablation benchmark
-// can compare them under PDES access patterns (mostly-increasing inserts
-// with occasional rollback re-insertions).
+// alternative; the ladder queue (Tang, Goh & Thng) is the calendar-family
+// structure whose Push/Pop are amortised O(1) for the PDES access pattern
+// (mostly-increasing inserts with occasional rollback re-insertions). All
+// three are provided so the event-queue ablation benchmark can compare
+// them under that pattern.
 //
 // Queues are not safe for concurrent use; each processing element owns one.
 package eventq
+
+import (
+	"fmt"
+	"strings"
+)
 
 // Queue is the interface the kernel schedules through. Min returns the
 // smallest element without removing it; Pop removes and returns it. Both
@@ -24,17 +32,106 @@ type Queue[T any] interface {
 	Each(func(T))
 }
 
-// New returns a queue of the named kind ("heap" or "splay"); it defaults to
-// "splay" for an empty kind and panics on anything else.
-func New[T any](kind string, less func(a, b T) bool) Queue[T] {
-	switch kind {
-	case "heap":
-		return NewHeap(less)
-	case "splay", "":
-		return NewSplay(less)
-	default:
-		panic("eventq: unknown queue kind " + kind)
+// BulkDrainer is optionally implemented by queues that can pop an entire
+// prefix cheaply. BulkDrain removes every element comparing strictly
+// before upTo, in exactly Pop order, calling fn on each as it is removed.
+// fn may Push new elements, provided every pushed element compares
+// strictly after the element just delivered (the kernel's causality rule:
+// sends carry strictly positive delays); pushed elements still below upTo
+// are delivered later in the same drain. The ladder implements this
+// without per-element rebalancing — delivery walks the sorted Bottom run,
+// refilling it bucket-at-a-time; a comparison-based queue gains nothing,
+// so heap and splay rely on the Drain fallback instead.
+type BulkDrainer[T any] interface {
+	BulkDrain(upTo T, fn func(T))
+}
+
+// Drain pops every element of q comparing strictly before upTo (under
+// less, which must be q's own ordering), in Pop order, calling fn on each.
+// Queues implementing BulkDrainer take their fast path; anything else
+// falls back to an equivalent Min/Pop loop. fn may Push, under the
+// BulkDrainer contract.
+func Drain[T any](q Queue[T], upTo T, less func(a, b T) bool, fn func(T)) {
+	if bd, ok := q.(BulkDrainer[T]); ok {
+		bd.BulkDrain(upTo, fn)
+		return
 	}
+	for {
+		v, ok := q.Min()
+		if !ok || !less(v, upTo) {
+			return
+		}
+		q.Pop()
+		fn(v)
+	}
+}
+
+// DefaultKind is the queue an empty kind name selects.
+const DefaultKind = "splay"
+
+// kindSpec is one registry entry; registry is the single place a queue
+// kind is declared — Kinds, Valid and New all derive from it, so adding a
+// kind is exactly one edit here.
+type kindSpec[T any] struct {
+	name string
+	// needsKey marks kinds whose constructor requires the key projection
+	// (calendar-family structures bucket by a numeric key; comparison-only
+	// kinds ignore it).
+	needsKey bool
+	build    func(less func(a, b T) bool, key func(T) float64) Queue[T]
+}
+
+func registry[T any]() []kindSpec[T] {
+	return []kindSpec[T]{
+		{name: "heap", build: func(less func(a, b T) bool, _ func(T) float64) Queue[T] { return NewHeap(less) }},
+		{name: "ladder", needsKey: true, build: func(less func(a, b T) bool, key func(T) float64) Queue[T] { return NewLadder(less, key) }},
+		{name: "splay", build: func(less func(a, b T) bool, _ func(T) float64) Queue[T] { return NewSplay(less) }},
+	}
+}
+
+// Kinds returns the registered queue kinds in registry order.
+func Kinds() []string {
+	specs := registry[struct{}]()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.name
+	}
+	return names
+}
+
+// Valid reports whether kind names a registered queue (or is empty, which
+// selects DefaultKind); the error enumerates the valid kinds.
+func Valid(kind string) error {
+	if kind == "" {
+		return nil
+	}
+	for _, s := range registry[struct{}]() {
+		if s.name == kind {
+			return nil
+		}
+	}
+	return fmt.Errorf("eventq: unknown queue kind %q (valid: %s)", kind, strings.Join(Kinds(), ", "))
+}
+
+// New returns a queue of the named kind, defaulting to DefaultKind for an
+// empty name. key projects an element to the numeric priority the
+// calendar-family kinds bucket by; it must be monotone with respect to
+// less (key(a) < key(b) implies less(a, b)) and may be nil for kinds that
+// only compare — asking for a kind that needs it without one is an error.
+func New[T any](kind string, less func(a, b T) bool, key func(T) float64) (Queue[T], error) {
+	if kind == "" {
+		kind = DefaultKind
+	}
+	for _, s := range registry[T]() {
+		if s.name != kind {
+			continue
+		}
+		if s.needsKey && key == nil {
+			return nil, fmt.Errorf("eventq: queue kind %q requires a key projection", kind)
+		}
+		return s.build(less, key), nil
+	}
+	return nil, Valid(kind)
 }
 
 // Heap is a classic array-backed binary min-heap. Elements comparing equal

@@ -6,11 +6,14 @@ import (
 	"repro/internal/eventq"
 )
 
-// Example shows the queue API shared by the heap and splay
+// Example shows the queue API shared by the heap, splay and ladder
 // implementations; the kernel schedules events through exactly this
 // interface.
 func Example() {
-	q := eventq.New[int]("heap", func(a, b int) bool { return a < b })
+	q, err := eventq.New[int]("heap", func(a, b int) bool { return a < b }, nil)
+	if err != nil {
+		panic(err)
+	}
 	for _, v := range []int{5, 1, 4, 1, 3} {
 		q.Push(v)
 	}

@@ -14,6 +14,8 @@ type keyed struct {
 
 func keyedLess(a, b keyed) bool { return a.key < b.key }
 
+func keyedKey(k keyed) float64 { return float64(k.key) }
+
 // TestSplayTieFIFO pins the splay tree's documented tie contract: elements
 // comparing equal pop in insertion order, even when the equal run is
 // interleaved with other keys and partial drains (which reshape the tree
@@ -92,16 +94,132 @@ func TestHeapTieDeterministic(t *testing.T) {
 	}
 }
 
-// TestQueuesAgreeUnderTotalOrder: with a total order (the kernel's case —
-// ties cannot occur) both queues must drain identically, so the kernel's
-// committed schedule cannot depend on the -queue flag. This is the
-// queue-level half of simcheck's heap-vs-splay differential column.
-func TestQueuesAgreeUnderTotalOrder(t *testing.T) {
+// TestLadderTieFIFO pins the ladder's tie contract, which matches the
+// splay tree's: elements comparing equal pop in insertion order. The
+// first half replays the splay scenario (ties interleaved with other
+// keys and a partial drain); the second half forces the equal run to
+// straddle the ladder's band boundaries — some ties drain out of a
+// sorted Bottom while later equal arrivals land in the Top band — which
+// is exactly where a calendar structure would lose FIFO if bucket
+// appends or the refill sort were unstable.
+func TestLadderTieFIFO(t *testing.T) {
+	q := NewLadder(keyedLess, keyedKey)
+	next := 0
+	push := func(key int) {
+		q.Push(keyed{key: key, id: next})
+		next++
+	}
+	push(9)
+	push(5)
+	push(5)
+	push(3)
+	push(5)
+	if v, _ := q.Pop(); v.key != 3 {
+		t.Fatalf("first pop key = %d, want 3", v.key)
+	}
+	push(5)
+	push(5)
+	wantIDs := []int{1, 2, 4, 5, 6} // insertion order among the key-5 ties
+	for i, want := range wantIDs {
+		v, ok := q.Pop()
+		if !ok || v.key != 5 {
+			t.Fatalf("pop %d: got (%+v, %v), want a key-5 element", i, v, ok)
+		}
+		if v.id != want {
+			t.Fatalf("tie order violated at pop %d: got id %d, want %d", i, v.id, want)
+		}
+	}
+	if v, ok := q.Pop(); !ok || v.key != 9 {
+		t.Fatalf("last pop = (%+v, %v), want key 9", v, ok)
+	}
+
+	// Band-boundary half: heavy ties at few keys, interleaved pops, so
+	// equal runs cross Top→rung→Bottom transfers. Compare against a
+	// stable-sort oracle (equal keys in push order).
+	rng := rand.New(rand.NewSource(11))
+	var oracle []keyed
+	for i := 0; i < 4000; i++ {
+		if rng.Intn(3) > 0 || len(oracle) == 0 {
+			e := keyed{key: rng.Intn(6), id: next}
+			next++
+			q.Push(e)
+			// Insert after all equal keys: FIFO oracle.
+			pos := len(oracle)
+			for pos > 0 && oracle[pos-1].key > e.key {
+				pos--
+			}
+			oracle = append(oracle, keyed{})
+			copy(oracle[pos+1:], oracle[pos:])
+			oracle[pos] = e
+		} else {
+			got, ok := q.Pop()
+			if !ok {
+				t.Fatalf("step %d: pop failed with %d queued", i, len(oracle))
+			}
+			if got != oracle[0] {
+				t.Fatalf("step %d: pop %+v, oracle %+v", i, got, oracle[0])
+			}
+			oracle = oracle[1:]
+		}
+	}
+}
+
+// TestLadderTopBoundaryEqualKeys is the regression test for an equal-key
+// split across the Top boundary. After transferTop moves the band down,
+// a later arrival whose key equals the old band maximum must follow its
+// equal-key peers down into Bottom/rungs — if it stays in Top, the two
+// containers are never compared under less and the earlier (but
+// less-greater) element drains first. The kernel hit exactly this: two
+// events at one timestamp, tiebroken by LP id, popped in the wrong order.
+func TestLadderTopBoundaryEqualKeys(t *testing.T) {
+	// Total order: key ascending, then id ascending.
 	totalLess := func(a, b keyed) bool {
 		if a.key != b.key {
 			return a.key < b.key
 		}
-		return a.id < b.id // unique ids make the order total
+		return a.id < b.id
+	}
+	q := NewLadder(totalLess, keyedKey)
+	q.Push(keyed{key: 5, id: 2})
+	q.Push(keyed{key: 1, id: 0})
+	// First pop triggers transferTop: {1,0} and {5,2} sort into Bottom and
+	// the Top boundary becomes the old band max, key 5.
+	if v, _ := q.Pop(); v != (keyed{key: 1, id: 0}) {
+		t.Fatalf("first pop = %+v, want {1 0}", v)
+	}
+	// A new key-5 arrival that sorts before the resident {5,2}.
+	q.Push(keyed{key: 5, id: 1})
+	for _, want := range []keyed{{key: 5, id: 1}, {key: 5, id: 2}} {
+		v, ok := q.Pop()
+		if !ok || v != want {
+			t.Fatalf("pop = (%+v, %v), want %+v", v, ok, want)
+		}
+	}
+}
+
+// TestQueuesAgreeUnderTotalOrder: with a total order (the kernel's case —
+// ties cannot occur) every registered queue must drain identically, so
+// the kernel's committed schedule cannot depend on the -queue flag. This
+// is the queue-level half of simcheck's queue-dimension differential.
+// The schedule runs under two orders: id-ascending (later pushes sort
+// later among equal float keys) and id-descending (later pushes sort
+// EARLIER — the kernel's straggler shape, where an event arriving later
+// must still drain first; this direction is what catches equal-key
+// elements split across a keyed structure's internal bands).
+func TestQueuesAgreeUnderTotalOrder(t *testing.T) {
+	orders := map[string]func(a, b keyed) bool{
+		"idAsc": func(a, b keyed) bool {
+			if a.key != b.key {
+				return a.key < b.key
+			}
+			return a.id < b.id
+		},
+		"idDesc": func(a, b keyed) bool {
+			if a.key != b.key {
+				return a.key < b.key
+			}
+			return a.id > b.id
+		},
 	}
 	drain := func(q Queue[keyed]) []keyed {
 		rng := rand.New(rand.NewSource(7))
@@ -122,14 +240,29 @@ func TestQueuesAgreeUnderTotalOrder(t *testing.T) {
 			out = append(out, v)
 		}
 	}
-	a := drain(NewHeap(totalLess))
-	b := drain(NewSplay(totalLess))
-	if len(a) != len(b) {
-		t.Fatalf("drain lengths differ: heap %d vs splay %d", len(a), len(b))
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			t.Fatalf("heap and splay disagree at %d under a total order: %+v vs %+v", i, a[i], b[i])
-		}
+	for name, totalLess := range orders {
+		t.Run(name, func(t *testing.T) {
+			kinds := Kinds()
+			drains := make([][]keyed, len(kinds))
+			for i, kind := range kinds {
+				q, err := New[keyed](kind, totalLess, keyedKey)
+				if err != nil {
+					t.Fatal(err)
+				}
+				drains[i] = drain(q)
+			}
+			for i := 1; i < len(kinds); i++ {
+				a, b := drains[0], drains[i]
+				if len(a) != len(b) {
+					t.Fatalf("drain lengths differ: %s %d vs %s %d", kinds[0], len(a), kinds[i], len(b))
+				}
+				for j := range a {
+					if a[j] != b[j] {
+						t.Fatalf("%s and %s disagree at %d under a total order: %+v vs %+v",
+							kinds[0], kinds[i], j, a[j], b[j])
+					}
+				}
+			}
+		})
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/eventq"
 )
 
 // tinyOpts keeps experiment smoke tests fast: the quick ladder trimmed
@@ -175,19 +177,23 @@ func TestBaselineSweep(t *testing.T) {
 	}
 }
 
-// TestQueueAblation: both queues must run and commit identical work.
+// TestQueueAblation: every registered queue kind must run and commit
+// identical work.
 func TestQueueAblation(t *testing.T) {
 	points, err := QueueAblation(Options{Steps: 10, Seed: 7, PEs: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(points) != 2 {
-		t.Fatalf("got %d points", len(points))
+	if want := len(eventq.Kinds()); len(points) != want {
+		t.Fatalf("got %d points, want %d", len(points), want)
 	}
-	if points[0].Committed != points[1].Committed {
-		t.Fatalf("queues disagree on committed work: %d vs %d", points[0].Committed, points[1].Committed)
+	for _, p := range points[1:] {
+		if p.Committed != points[0].Committed {
+			t.Fatalf("queue %s disagrees on committed work: %d vs %s's %d",
+				p.Queue, p.Committed, points[0].Queue, points[0].Committed)
+		}
 	}
-	if tab := QueueTable(points); len(tab.Rows) != 2 {
+	if tab := QueueTable(points); len(tab.Rows) != len(points) {
 		t.Fatal("queue table malformed")
 	}
 }
@@ -219,7 +225,7 @@ func TestProgressWriter(t *testing.T) {
 	if _, err := QueueAblation(opt); err != nil {
 		t.Fatal(err)
 	}
-	if got := strings.Count(buf.String(), "\n"); got != 2 {
-		t.Fatalf("progress lines = %d, want 2", got)
+	if want := len(eventq.Kinds()); strings.Count(buf.String(), "\n") != want {
+		t.Fatalf("progress lines = %d, want %d", strings.Count(buf.String(), "\n"), want)
 	}
 }

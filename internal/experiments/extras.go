@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/eventq"
 	"repro/internal/hotpotato"
 	"repro/internal/phold"
 	"repro/internal/routing"
@@ -134,7 +135,7 @@ func QueueAblation(opt Options) ([]QueuePoint, error) {
 	lps := 1024
 	end := core.Time(opt.steps(50))
 	var out []QueuePoint
-	for _, q := range []string{"heap", "splay"} {
+	for _, q := range eventq.Kinds() {
 		cfg := phold.Config{
 			NumLPs:     lps,
 			Population: 8,

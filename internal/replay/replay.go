@@ -35,7 +35,8 @@ type Spec struct {
 	Model string
 	// Codec names the registered payload codec for the model's messages.
 	Codec string
-	// Queue is the pending-queue kind ("heap" or "splay").
+	// Queue is the pending-queue kind (any registered eventq kind:
+	// "heap", "ladder", or "splay").
 	Queue string
 	// Mutation optionally names a seeded bug the Runner arms on
 	// non-sequential builds (simcheck's Mutation); recorded so a shrunk

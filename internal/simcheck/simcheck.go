@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/eventq"
 	"repro/internal/trace"
 )
 
@@ -228,7 +229,7 @@ func Smoke() Matrix {
 		Engines:   Engines(),
 		PEs:       []int{2, 4},
 		KPs:       []int{8},
-		Queues:    []string{"heap"},
+		Queues:    []string{"heap", "ladder"},
 		Seeds:     []uint64{1, 42},
 		Faults:    []*core.Faults{nil, DefaultFaults(), BurstFaults()},
 		MemBounds: []int{0, 10},
@@ -236,15 +237,15 @@ func Smoke() Matrix {
 	}
 }
 
-// Full is the pre-merge matrix: every model, both queue kinds, more seeds
-// and a second KP granularity.
+// Full is the pre-merge matrix: every model, every registered queue kind,
+// more seeds and a second KP granularity.
 func Full() Matrix {
 	return Matrix{
 		Models:    ModelNames(),
 		Engines:   Engines(),
 		PEs:       []int{1, 2, 4},
 		KPs:       []int{4, 16},
-		Queues:    []string{"heap", "splay"},
+		Queues:    eventq.Kinds(),
 		Seeds:     []uint64{1, 7, 42, 1234},
 		Faults:    []*core.Faults{nil, DefaultFaults(), BurstFaults()},
 		MemBounds: []int{0, 6, 24},

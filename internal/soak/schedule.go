@@ -9,6 +9,7 @@ package soak
 
 import (
 	"repro/internal/core"
+	"repro/internal/eventq"
 	"repro/internal/simcheck"
 )
 
@@ -70,7 +71,8 @@ const memBoundOdds = 4
 // episodes.
 func nextEpisode(src source, idx int, models []string, mutation simcheck.Mutation, paranoid bool) Episode {
 	model := models[idx%len(models)]
-	queue := []string{"heap", "splay"}[src.Intn(2)]
+	kinds := eventq.Kinds() // registry order is deterministic, so the draw replays
+	queue := kinds[src.Intn(len(kinds))]
 	pes := 1 + src.Intn(4)
 	kps := []int{4, 8, 16}[src.Intn(3)]
 	seed := u32(src) | 1

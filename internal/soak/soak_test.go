@@ -5,14 +5,15 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/eventq"
 	"repro/internal/replay"
 	"repro/internal/simcheck"
 )
 
 // TestScheduleDiversity: the generator must actually exercise the space it
-// claims — both queues, multiple PE shapes, conservative episodes, fault
-// compositions of depth >= 2, and memory-bounded cells — within a modest
-// episode count, and rotate through every model.
+// claims — every registered queue kind, multiple PE shapes, conservative
+// episodes, fault compositions of depth >= 2, and memory-bounded cells —
+// within a modest episode count, and rotate through every model.
 func TestScheduleDiversity(t *testing.T) {
 	models := simcheck.ModelNames()
 	src := rand.New(rand.NewSource(3))
@@ -73,8 +74,10 @@ func TestScheduleDiversity(t *testing.T) {
 			t.Fatalf("model %s never scheduled in %d episodes", m, n)
 		}
 	}
-	if queues["heap"] == 0 || queues["splay"] == 0 {
-		t.Fatalf("queue kinds not both scheduled: %v", queues)
+	for _, kind := range eventq.Kinds() {
+		if queues[kind] == 0 {
+			t.Fatalf("queue kind %s never scheduled: %v", kind, queues)
+		}
 	}
 	if len(pes) < 3 {
 		t.Fatalf("PE shapes too uniform: %v", pes)
