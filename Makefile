@@ -26,8 +26,12 @@ bin/simlint: $(shell find internal/analysis cmd/simlint -name '*.go' -not -path 
 	@mkdir -p bin
 	$(GO) build -o bin/simlint ./cmd/simlint
 
+# LINT_FORMAT=json emits machine-readable finding records (waived ones
+# included) for CI annotation; the default text output prints only the
+# unwaived findings a human must act on. Exit status is identical.
+LINT_FORMAT ?= text
 simlint: bin/simlint
-	./bin/simlint ./...
+	./bin/simlint -format $(LINT_FORMAT) ./...
 
 # Randomized soak/chaos run: seeded episode schedule composing the kernel
 # fault injectors with live invariant sweeps and the memory valve, failing

@@ -1,9 +1,11 @@
 // Package analysis implements simlint: a suite of static analyzers that
 // enforce the Time Warp kernel's model-author contracts at build time —
 // reverse-computation completeness (reversecheck), handler determinism
-// (determcheck), event/payload lifecycle discipline (lifecheck) and
-// per-PE counter ownership (statscheck). See docs/ANALYSIS.md for the
-// contracts and the escape-hatch annotations.
+// (determcheck), event/payload lifecycle discipline (lifecheck), per-PE
+// counter ownership (statscheck), goroutine-ownership of annotated
+// fields (ownercheck) and lock-free publish discipline (atomiccheck).
+// See docs/ANALYSIS.md for the contracts and the escape-hatch
+// annotations.
 //
 // The framework mirrors golang.org/x/tools/go/analysis (Analyzer, Pass,
 // diagnostics, object facts) but is built on the standard library only:
@@ -36,10 +38,15 @@ type Analyzer struct {
 	Run func(*Pass) error
 }
 
-// A Diagnostic is one finding.
+// A Diagnostic is one finding. Waived findings are still reported — the
+// driver uses them for stale-waiver accounting and machine-readable
+// output — but they don't fail a lint run.
 type Diagnostic struct {
 	Pos     token.Pos
 	Message string
+	// Waived is true when a //simlint:<keyword> annotation suppresses
+	// this finding.
+	Waived bool
 }
 
 // A Pass provides one analyzer with one package's syntax and types, plus
@@ -53,25 +60,25 @@ type Pass struct {
 
 	directives *directiveIndex
 	facts      *FactStore
+	usage      *DirectiveUsage
 	report     func(Diagnostic)
 }
 
-// Reportf records a finding, unless a //simlint:<keyword> annotation at
-// the position (same line, the line above, or the enclosing function's
-// doc comment) waives it for this analyzer.
+// Reportf records a finding. A //simlint:<keyword> annotation at the
+// position (same line, the line above, or the enclosing function's doc
+// comment) marks it Waived rather than dropping it, so the driver can
+// tell a waiver that still earns its keep from a stale one.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	if p.Suppressed(pos) {
-		return
-	}
-	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Waived: p.Suppressed(pos)})
 }
 
 // Suppressed reports whether a finding of this analyzer at pos is waived
-// by an annotation. Only annotations in the files of this pass are
-// consulted, so analyzers that surface cross-package facts should check
-// suppression in the fact's home package before exporting it.
+// by an annotation, and records every matching annotation as used. Only
+// annotations in the files of this pass are consulted, so analyzers that
+// surface cross-package facts should check suppression in the fact's
+// home package before exporting it.
 func (p *Pass) Suppressed(pos token.Pos) bool {
-	return p.directives.suppressed(p.Fset, pos, p.Analyzer.Keyword)
+	return p.directives.suppressed(p.Fset, pos, p.Analyzer.Keyword, p.usage)
 }
 
 // ExportObjectFact attaches a fact to obj for downstream packages. Facts
@@ -122,8 +129,9 @@ func (s *FactStore) get(obj types.Object, ptr any) bool {
 }
 
 // NewPass assembles a Pass for one (analyzer, package) pair. The driver
-// and the analysistest harness are the only callers.
-func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, facts *FactStore, report func(Diagnostic)) *Pass {
+// and the analysistest harness are the only callers. usage may be nil
+// when the caller doesn't care about stale-waiver accounting.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, facts *FactStore, usage *DirectiveUsage, report func(Diagnostic)) *Pass {
 	return &Pass{
 		Analyzer:   a,
 		Fset:       fset,
@@ -132,11 +140,12 @@ func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Pac
 		TypesInfo:  info,
 		directives: indexDirectives(fset, files),
 		facts:      facts,
+		usage:      usage,
 		report:     report,
 	}
 }
 
 // Analyzers returns the full simlint suite in its canonical order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Reversecheck, Determcheck, Lifecheck, Statscheck}
+	return []*Analyzer{Reversecheck, Determcheck, Lifecheck, Statscheck, Ownercheck, Atomiccheck}
 }

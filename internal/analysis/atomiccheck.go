@@ -1,0 +1,324 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Atomiccheck enforces the discipline that makes the kernel's hand-rolled
+// lock-free structures (the SPSC mail lanes, the async-GVT token) correct
+// without locks. Two annotations opt fields in:
+//
+//   - //simlint:publishes <field> on an atomic guard (the lane tail, the
+//     token holder) declares that storing the guard publishes the named
+//     sibling field to another goroutine. Within any one function, every
+//     store to the published data must precede the guard store in block
+//     order — a slot write after the tail store is visible to a consumer
+//     that already observed the tail, the exact bug -race catches only
+//     when the interleaving cooperates. The analysis is flow-lite like
+//     lifecheck's: a guard store poisons the remaining statements of its
+//     block (and their nested blocks); guard stores inside a nested
+//     block stay local, so branch-local publishes never false-positive.
+//
+//   - //simlint:spsc on an atomic index (lane head/tail) declares
+//     single-writer discipline: exactly one function may mutate it — the
+//     producer stores the tail, the consumer stores the head, and any
+//     second writer function is a finding. Cross-package mutation of an
+//     imported spsc index is always a finding.
+//
+// Both annotations also require the field itself to be a sync/atomic
+// type: a plain guard store publishes nothing to other goroutines.
+// Publish-order is checked within the annotating package (the kernel's
+// guards are unexported); single-writer facts travel across packages.
+var Atomiccheck = &Analyzer{
+	Name:    "atomiccheck",
+	Doc:     "enforce lock-free publish ordering and SPSC single-writer discipline on annotated atomic fields",
+	Keyword: "crosspe",
+	Run:     runAtomiccheck,
+}
+
+// spscFact marks a struct field as a single-writer atomic index.
+// Exported so dependent packages flag cross-package stores too.
+type spscFact struct{}
+
+// atomicMutators are the sync/atomic methods that store.
+var atomicMutators = map[string]bool{
+	"Store":          true,
+	"Add":            true,
+	"Swap":           true,
+	"CompareAndSwap": true,
+	"And":            true,
+	"Or":             true,
+}
+
+// pubSite records one guard store for the publish-order walk.
+type pubSite struct {
+	guard string
+	pos   token.Pos
+}
+
+// pubKey identifies published data: the root variable the selection hangs
+// off plus the data field. Keying on the root keeps l.tail publishing
+// l.buf without poisoning other.buf.
+type pubKey struct {
+	base *types.Var
+	data *types.Var
+}
+
+func runAtomiccheck(pass *Pass) error {
+	spsc := markedFields(pass, "spsc")
+	for v := range spsc {
+		pass.ExportObjectFact(v, spscFact{})
+		if !isAtomicType(v.Type()) {
+			pass.Reportf(v.Pos(),
+				"spsc index %s.%s must be a sync/atomic type; a plain index gives the opposite side no ordered view of it",
+				fieldOwnerName(v), v.Name())
+		}
+	}
+	pubs := collectPublishes(pass)
+
+	// Single-writer discipline: the first function (in source order) that
+	// mutates an spsc index claims it; every other mutating function is a
+	// finding.
+	writers := make(map[*types.Var]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok || !atomicMutators[sel.Sel.Name] {
+					return true
+				}
+				_, fields := selectorChain(pass, sel.X)
+				for _, field := range fields {
+					if _, tagged := spsc[field]; !tagged {
+						var fact spscFact
+						if field.Pkg() == nil || field.Pkg() == pass.Pkg || !pass.ImportObjectFact(field, &fact) {
+							continue
+						}
+						pass.Reportf(call.Pos(),
+							"spsc index %s.%s is stored outside its declaring package; the producer/consumer pair owning it lives there",
+							fieldOwnerName(field), field.Name())
+						continue
+					}
+					first, claimed := writers[field]
+					switch {
+					case !claimed:
+						writers[field] = fd
+					case first != fd:
+						pass.Reportf(call.Pos(),
+							"second writer for spsc index %s.%s: %s also stores it (first writer %s); single-writer discipline allows exactly one function per index (producer stores tail, consumer stores head)",
+							fieldOwnerName(field), field.Name(), fd.Name.Name, first.Name.Name)
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Publish-order: within each function, no store to published data
+	// after the guard store that publishes it.
+	if len(pubs) > 0 {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkPublishOrder(pass, fd.Body, pubs, make(map[pubKey]pubSite))
+			}
+		}
+	}
+	return nil
+}
+
+// collectPublishes maps each //simlint:publishes-tagged guard field to
+// the sibling field it publishes, reporting guards that are not atomic
+// or whose argument names no sibling.
+func collectPublishes(pass *Pass) map[*types.Var]*types.Var {
+	pubs := make(map[*types.Var]*types.Var)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				// Field objects by name, for sibling resolution.
+				byName := make(map[string]*types.Var)
+				for _, field := range st.Fields.List {
+					for _, name := range field.Names {
+						if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+							byName[name.Name] = v
+						}
+					}
+				}
+				for _, field := range st.Fields.List {
+					arg, ok := MarkerArg(field.Doc, "publishes")
+					if !ok {
+						arg, ok = MarkerArg(field.Comment, "publishes")
+					}
+					if !ok || len(field.Names) == 0 {
+						continue
+					}
+					guard, ok := pass.TypesInfo.Defs[field.Names[0]].(*types.Var)
+					if !ok {
+						continue
+					}
+					if !isAtomicType(guard.Type()) {
+						pass.Reportf(guard.Pos(),
+							"publish guard %s.%s must be a sync/atomic type; a plain store publishes nothing to other goroutines",
+							fieldOwnerName(guard), guard.Name())
+					}
+					if arg == "" {
+						continue // driver hygiene reports the missing argument
+					}
+					data, ok := byName[arg]
+					if !ok {
+						pass.Reportf(guard.Pos(),
+							"//simlint:publishes %s names no field of %s", arg, ts.Name.Name)
+						continue
+					}
+					pubs[guard] = data
+				}
+			}
+		}
+	}
+	return pubs
+}
+
+// checkPublishOrder walks one block's statements in order, tracking
+// guard stores. published maps each (root, data field) pair to the guard
+// store that published it. Nested blocks inherit a copy; publishes
+// inside them stay local, mirroring lifecheck's dead-set discipline.
+func checkPublishOrder(pass *Pass, block *ast.BlockStmt, pubs map[*types.Var]*types.Var, published map[pubKey]pubSite) {
+	for _, stmt := range block.List {
+		// 1. Stores to already-published data directly in this statement.
+		if len(published) > 0 {
+			shallowInspect(stmt, func(n ast.Node) {
+				switch s := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range s.Lhs {
+						reportLateStore(pass, lhs, published)
+					}
+				case *ast.IncDecStmt:
+					reportLateStore(pass, s.X, published)
+				}
+			})
+		}
+
+		// 2. Nested blocks see the current published set but cannot
+		// extend it.
+		for _, nested := range nestedBlocks(stmt) {
+			checkPublishOrder(pass, nested, pubs, copyPublished(published))
+		}
+
+		// 3. Guard stores directly in this statement publish their data
+		// for the rest of this block.
+		shallowInspect(stmt, func(n ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !atomicMutators[sel.Sel.Name] {
+				return
+			}
+			root, fields := selectorChain(pass, sel.X)
+			if root == nil {
+				return
+			}
+			for _, field := range fields {
+				if data, ok := pubs[field]; ok {
+					published[pubKey{root, data}] = pubSite{guard: field.Name(), pos: call.Pos()}
+				}
+			}
+		})
+	}
+}
+
+// reportLateStore flags a store target that writes through data already
+// published in this block.
+func reportLateStore(pass *Pass, target ast.Expr, published map[pubKey]pubSite) {
+	root, fields := selectorChain(pass, target)
+	if root == nil {
+		return
+	}
+	for _, field := range fields {
+		if site, ok := published[pubKey{root, field}]; ok {
+			pass.Reportf(target.Pos(),
+				"store to %s.%s after the %s store at %v that publishes it; a consumer that already observed %s can read this slot mid-write (move the store above the publishing store)",
+				root.Name(), field.Name(), site.guard, pass.Fset.Position(site.pos), site.guard)
+		}
+	}
+}
+
+// shallowInspect visits the statement's nodes without descending into
+// nested blocks or function literals (the block walk handles those).
+func shallowInspect(stmt ast.Stmt, fn func(ast.Node)) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.BlockStmt, *ast.FuncLit:
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// selectorChain peels an expression down to its root identifier,
+// collecting the field objects selected along the way: l.buf[i] yields
+// (l, [buf]); pe.outbox.bufs yields (pe, [bufs, outbox]).
+func selectorChain(pass *Pass, expr ast.Expr) (root *types.Var, fields []*types.Var) {
+	for {
+		switch x := ast.Unparen(expr).(type) {
+		case *ast.IndexExpr:
+			expr = x.X
+		case *ast.SliceExpr:
+			expr = x.X
+		case *ast.StarExpr:
+			expr = x.X
+		case *ast.SelectorExpr:
+			if s, ok := pass.TypesInfo.Selections[x]; ok && s.Kind() == types.FieldVal {
+				if v, ok := s.Obj().(*types.Var); ok {
+					fields = append(fields, v.Origin())
+				}
+			}
+			expr = x.X
+		case *ast.Ident:
+			v, _ := pass.TypesInfo.Uses[x].(*types.Var)
+			if v == nil {
+				return nil, nil
+			}
+			return v, fields
+		default:
+			return nil, nil
+		}
+	}
+}
+
+func copyPublished(published map[pubKey]pubSite) map[pubKey]pubSite {
+	cp := make(map[pubKey]pubSite, len(published))
+	for k, v := range published {
+		cp[k] = v
+	}
+	return cp
+}

@@ -1,0 +1,11 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func TestAtomiccheck(t *testing.T) {
+	runFixture(t, analysis.Atomiccheck, "atomiccheck")
+}

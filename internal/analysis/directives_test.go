@@ -72,9 +72,17 @@ func TestDirectiveScopes(t *testing.T) {
 		{16, "crosspe", false},     // two lines below: out of scope
 		{7, "retained", false},     // wrong keyword
 	}
+	usage := NewDirectiveUsage()
 	for _, c := range cases {
-		if got := idx.suppressed(fset, posAt(c.line), c.keyword); got != c.want {
+		if got := idx.suppressed(fset, posAt(c.line), c.keyword, usage); got != c.want {
 			t.Errorf("suppressed(line %d, %s) = %v, want %v", c.line, c.keyword, got, c.want)
+		}
+	}
+	// Every directive in the source matched at least one query above, so
+	// all three must now be marked used.
+	for _, d := range Directives(fset, []*ast.File{f}) {
+		if !usage.Used(d.Pos) {
+			t.Errorf("directive //simlint:%s at %s not marked used", d.Keyword, fset.Position(d.Pos))
 		}
 	}
 }

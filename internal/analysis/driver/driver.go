@@ -10,6 +10,7 @@ package driver
 
 import (
 	"fmt"
+	"go/ast"
 	"go/token"
 	"path/filepath"
 	"sort"
@@ -19,15 +20,33 @@ import (
 	"repro/internal/analysis/load"
 )
 
-// Finding is one formatted diagnostic.
+// Finding is one formatted diagnostic. Waived findings carry the record
+// of an annotation earning its keep: they appear in -format json output
+// (and feed stale-waiver detection) but don't fail a lint run.
 type Finding struct {
 	Position token.Position
 	Analyzer string
 	Message  string
+	Waived   bool
 }
 
 func (f Finding) String() string {
-	return fmt.Sprintf("%s: %s: %s", f.Position, f.Analyzer, f.Message)
+	suffix := ""
+	if f.Waived {
+		suffix = " (waived)"
+	}
+	return fmt.Sprintf("%s: %s: %s%s", f.Position, f.Analyzer, f.Message, suffix)
+}
+
+// Unwaived filters findings down to the ones that fail a lint run.
+func Unwaived(findings []Finding) []Finding {
+	var out []Finding
+	for _, f := range findings {
+		if !f.Waived {
+			out = append(out, f)
+		}
+	}
+	return out
 }
 
 // Run analyzes the packages matched by patterns in the module containing
@@ -50,6 +69,7 @@ func Run(dir string, includeTests bool, patterns ...string) ([]Finding, error) {
 	fset := loader.Fset()
 	analyzers := analysis.Analyzers()
 	facts := analysis.NewFactStore()
+	usage := analysis.NewDirectiveUsage()
 	var findings []Finding
 	for _, p := range pkgs {
 		// Skip the analyzers' own tree: its fixtures and message strings
@@ -59,12 +79,13 @@ func Run(dir string, includeTests bool, patterns ...string) ([]Finding, error) {
 		}
 		keep := requested[p.ImportPath]
 		for _, a := range analyzers {
-			pass := analysis.NewPass(a, fset, p.Files, p.Types, p.TypesInfo, facts, func(d analysis.Diagnostic) {
+			pass := analysis.NewPass(a, fset, p.Files, p.Types, p.TypesInfo, facts, usage, func(d analysis.Diagnostic) {
 				if keep {
 					findings = append(findings, Finding{
 						Position: fset.Position(d.Pos),
 						Analyzer: a.Name,
 						Message:  d.Message,
+						Waived:   d.Waived,
 					})
 				}
 			})
@@ -72,8 +93,11 @@ func Run(dir string, includeTests bool, patterns ...string) ([]Finding, error) {
 				return nil, fmt.Errorf("%s: %s: %v", p.ImportPath, a.Name, err)
 			}
 		}
+		// Suppression only consults same-package directives and every
+		// analyzer has now run over p, so p's usage is final: hygiene
+		// (including stale-waiver detection) can run per package.
 		if keep {
-			findings = append(findings, directiveHygiene(fset, p)...)
+			findings = append(findings, DirectiveHygiene(fset, p.Files, usage)...)
 		}
 	}
 	sort.Slice(findings, func(i, j int) bool {
@@ -89,12 +113,25 @@ func Run(dir string, includeTests bool, patterns ...string) ([]Finding, error) {
 	return findings, nil
 }
 
-// directiveHygiene flags malformed //simlint: annotations: unknown
-// keywords, and suppression annotations with no reason (an unexplained
-// waiver defeats the point of requiring one).
-func directiveHygiene(fset *token.FileSet, p *load.Package) []Finding {
+// DirectiveHygiene flags malformed //simlint: annotations in files:
+// unknown keywords, suppression annotations with no reason (an
+// unexplained waiver defeats the point of requiring one), markers
+// missing a required argument, misplaced annotations whose scope covers
+// no finding-capable line, and — given the usage recorded by a completed
+// analyzer run — stale waivers that no longer suppress anything. usage
+// may be nil to skip stale-waiver detection (the other checks are purely
+// syntactic).
+func DirectiveHygiene(fset *token.FileSet, files []*ast.File, usage *analysis.DirectiveUsage) []Finding {
+	anchors := analysis.AnchorLines(fset, files)
 	var out []Finding
-	for _, d := range analysis.Directives(fset, p.Files) {
+	report := func(d analysis.Directive, format string, args ...any) {
+		out = append(out, Finding{
+			Position: fset.Position(d.Pos),
+			Analyzer: "simlint",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, d := range analysis.Directives(fset, files) {
 		_, isSuppression := analysis.SuppressionKeywords[d.Keyword]
 		switch {
 		case !isSuppression && !analysis.MarkerKeywords[d.Keyword]:
@@ -106,17 +143,18 @@ func directiveHygiene(fset *token.FileSet, p *load.Package) []Finding {
 				known = append(known, k)
 			}
 			sort.Strings(known)
-			out = append(out, Finding{
-				Position: fset.Position(d.Pos),
-				Analyzer: "simlint",
-				Message:  fmt.Sprintf("unknown directive //simlint:%s (known: %s)", d.Keyword, strings.Join(known, ", ")),
-			})
+			report(d, "unknown directive //simlint:%s (known: %s)", d.Keyword, strings.Join(known, ", "))
+		case !d.Anchored(fset, anchors):
+			// A directive whose scope holds no statement, field or spec
+			// (e.g. trailing a closing brace) suppresses or marks nothing;
+			// report placement alone, not a stale waiver on top.
+			report(d, "misplaced //simlint:%s: no statement, field or declaration on its line or the next, so it cannot apply to anything", d.Keyword)
 		case isSuppression && d.Reason == "":
-			out = append(out, Finding{
-				Position: fset.Position(d.Pos),
-				Analyzer: "simlint",
-				Message:  fmt.Sprintf("//simlint:%s needs a reason naming the invariant being waived", d.Keyword),
-			})
+			report(d, "//simlint:%s needs a reason naming the invariant being waived", d.Keyword)
+		case d.Keyword == "publishes" && d.Reason == "":
+			report(d, "//simlint:publishes needs the name of the sibling field the tagged guard publishes")
+		case isSuppression && usage != nil && !usage.Used(d.Pos):
+			report(d, "stale waiver: //simlint:%s suppresses no finding; delete it, or re-anchor it to the code it used to cover", d.Keyword)
 		}
 	}
 	return out

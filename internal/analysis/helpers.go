@@ -30,6 +30,61 @@ func namedOf(t types.Type) *types.Named {
 	}
 }
 
+// isAtomicType reports whether t (possibly behind pointers) is one of
+// sync/atomic's types — the one field shape the ownership analyzers
+// accept for sanctioned cross-goroutine access.
+func isAtomicType(t types.Type) bool {
+	n := namedOf(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "sync/atomic"
+}
+
+// markedFields collects every struct field in the pass's files tagged
+// with the given marker directive (on the field or its declaration
+// group), mapping the field object to the named type that declares it.
+func markedFields(pass *Pass, keyword string) map[*types.Var]*types.Named {
+	owners := make(map[*types.Var]*types.Named)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				named, _ := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+				if named == nil {
+					continue
+				}
+				owner := namedOf(named.Type())
+				if owner == nil {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					if !HasMarker(field.Doc, keyword) && !HasMarker(field.Comment, keyword) {
+						continue
+					}
+					for _, name := range field.Names {
+						if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+							owners[v] = owner
+						}
+					}
+				}
+			}
+		}
+	}
+	return owners
+}
+
 // isKernelType reports whether t (possibly behind pointers) is the named
 // type name from a package named "core" — the kernel package, whatever
 // path it is vendored under.

@@ -1,0 +1,11 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func TestOwnercheck(t *testing.T) {
+	runFixture(t, analysis.Ownercheck, "ownercheck")
+}

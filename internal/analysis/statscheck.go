@@ -31,43 +31,9 @@ type shardedFact struct{}
 
 func runStatscheck(pass *Pass) error {
 	// Pass 1: collect marked fields and their owning named types.
-	owners := make(map[*types.Var]*types.Named)
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			gd, ok := decl.(*ast.GenDecl)
-			if !ok {
-				continue
-			}
-			for _, spec := range gd.Specs {
-				ts, ok := spec.(*ast.TypeSpec)
-				if !ok {
-					continue
-				}
-				st, ok := ts.Type.(*ast.StructType)
-				if !ok {
-					continue
-				}
-				named, _ := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
-				if named == nil {
-					continue
-				}
-				owner := namedOf(named.Type())
-				if owner == nil {
-					continue
-				}
-				for _, field := range st.Fields.List {
-					if !HasMarker(field.Doc, "sharded") && !HasMarker(field.Comment, "sharded") {
-						continue
-					}
-					for _, name := range field.Names {
-						if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
-							owners[v] = owner
-							pass.ExportObjectFact(v, shardedFact{})
-						}
-					}
-				}
-			}
-		}
+	owners := markedFields(pass, "sharded")
+	for v := range owners {
+		pass.ExportObjectFact(v, shardedFact{})
 	}
 
 	// Pass 2: audit every selection of a sharded field (local or

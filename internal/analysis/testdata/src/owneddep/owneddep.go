@@ -1,0 +1,10 @@
+// Fixture dependency for ownercheck: the exported owned field lets the
+// importing fixture exercise cross-package ownedFact flow.
+package owneddep
+
+type Dep struct {
+	Gauge int64 //simlint:owned
+}
+
+// Bump is the owner's hot path.
+func (d *Dep) Bump() { d.Gauge++ }

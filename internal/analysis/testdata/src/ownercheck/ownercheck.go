@@ -1,0 +1,77 @@
+// Fixture for ownercheck: goroutine-owned fields may only be touched
+// through the owning receiver's methods; cross-goroutine reads need a
+// //simlint:crosspe waiver naming the ordering, writes need an atomic
+// field type.
+package ownercheck
+
+import (
+	"sync/atomic"
+
+	"owneddep"
+)
+
+type PE struct {
+	free []int //simlint:owned
+	//simlint:owned
+	live  int64
+	wakes atomic.Int64 //simlint:owned
+	name  string       // untagged: freely shared
+}
+
+// run is the owner's hot path: receiver access is allowed.
+func (p *PE) run() {
+	p.free = append(p.free, 1)
+	p.live++
+}
+
+// stealFrom reads another PE's owned field from inside an owner method:
+// ownership is per-value, not per-type.
+func (p *PE) stealFrom(o *PE) int64 {
+	return o.live // want `read of goroutine-owned field`
+}
+
+// drain writes an owned field without going through the owner.
+func drain(p *PE) {
+	p.free = nil // want `write to goroutine-owned field`
+}
+
+// bump is a compound write, classified as a write, not a read.
+func bump(p *PE) {
+	p.live++ // want `write to goroutine-owned field`
+}
+
+// gauge reads an owned field without a receiver.
+func gauge(p *PE) int64 {
+	return p.live // want `read of goroutine-owned field`
+}
+
+// gaugeAtBarrier is the sanctioned read: the waiver names the ordering.
+func gaugeAtBarrier(p *PE) int64 {
+	return p.live //simlint:crosspe fixture: caller holds the collection barrier
+}
+
+// wake pokes the atomic field from outside the owner: atomics are the
+// sanctioned cross-goroutine channel, so no finding.
+func wake(p *PE) {
+	p.wakes.Add(1)
+}
+
+// construct writes owned fields before the owner goroutine exists; the
+// doc-comment waiver covers the whole function.
+//
+//simlint:crosspe fixture: construction, the owner goroutine has not started
+func construct() *PE {
+	p := &PE{}
+	p.free = make([]int, 0, 8)
+	return p
+}
+
+// pokeDep writes an owned field known only through a cross-package fact.
+func pokeDep(d *owneddep.Dep) {
+	d.Gauge++ // want `write to goroutine-owned field`
+}
+
+// rename touches only the untagged field: no finding.
+func rename(p *PE, n string) {
+	p.name = n
+}

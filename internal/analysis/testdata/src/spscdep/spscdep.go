@@ -1,0 +1,13 @@
+// Fixture dependency for atomiccheck: the exported spsc index lets the
+// importing fixture exercise cross-package spscFact flow.
+package spscdep
+
+import "sync/atomic"
+
+type Ring struct {
+	//simlint:spsc
+	Head atomic.Uint64
+}
+
+// Advance is the consumer, the index's single writer.
+func (r *Ring) Advance(h uint64) { r.Head.Store(h) }

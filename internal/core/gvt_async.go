@@ -72,12 +72,14 @@ import (
 type gvtToken struct {
 	// holder is the ID of the PE currently holding the token. Its
 	// store/load pairs are the only synchronisation the token uses.
+	//
+	//simlint:publishes min
 	holder atomic.Int64
 	_      [56]byte // the plain fields below are single-owner; keep them off the holder's line
 	// min is the running fold of this round's contributions.
-	min Time
+	min Time //simlint:owned
 	// round counts launches; completions are published via sim.gvtRounds.
-	round int64
+	round int64 //simlint:owned
 }
 
 // outEpoch is one closed batch of sender-side coverage: mail posted to one
@@ -138,6 +140,8 @@ func (pe *PE) asyncPass() (bool, error) {
 // round (PE 0), launch a requested one (PE 0), or contribute and forward.
 // A visit never waits — the sender-side coverage ledger means there is no
 // delivery condition to block on.
+//
+//simlint:crosspe token-ordered: only the holder touches the token's plain fields, and forwardToken's holder store hands the happens-before edge to the next visit
 func (pe *PE) tokenPass() {
 	s := pe.sim
 	t := &s.token

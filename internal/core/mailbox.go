@@ -68,8 +68,11 @@ const laneCap = 128
 // while its mail is still in flight. drainMailbox additionally asserts this
 // under CheckInvariants.
 type lane struct {
+	//simlint:spsc
 	head atomic.Uint64
 	_    [56]byte // keep the consumer-owned and producer-owned indices on separate cache lines
+	//simlint:spsc
+	//simlint:publishes buf
 	tail atomic.Uint64
 	_    [56]byte
 	buf  [laneCap]mail

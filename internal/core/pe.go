@@ -22,12 +22,12 @@ type PE struct {
 	id  int
 	sim *Simulator
 
-	pending eventq.Queue[*Event]
-	lanes   []lane // inbound SPSC rings, indexed by sender PE
-	outbox  outbox // outgoing mail, coalesced per destination
-	batch   []mail // recycled drain buffer
-	pool    eventPool
-	kps     []*KP
+	pending eventq.Queue[*Event] //simlint:owned
+	lanes   []lane               // inbound SPSC rings, indexed by sender PE: the lanes themselves are the sync structure
+	outbox  outbox               //simlint:owned
+	batch   []mail               //simlint:owned
+	pool    eventPool            //simlint:owned
+	kps     []*KP                //simlint:owned
 
 	parked atomic.Bool
 	wakeCh chan struct{}
@@ -47,15 +47,15 @@ type PE struct {
 	// sender-side coverage scheme needs no cross-PE state beyond the lane
 	// indices the comms layer already publishes. lastFossil is the GVT
 	// estimate this PE last fossil-collected against.
-	outMin     []Time
-	epochs     [][]outEpoch
-	lastFossil Time
+	outMin     []Time       //simlint:owned
+	epochs     [][]outEpoch //simlint:owned
+	lastFossil Time         //simlint:owned
 	// lastContrib is the local minimum this PE folded into the token at
 	// its most recent visit: a standing promise that nothing it can still
 	// affect lies below that time. Natural execution honours it by
 	// causality (every rollback is triggered by covered mail); the forced-
 	// rollback injector must be clamped to it explicitly.
-	lastContrib Time
+	lastContrib Time //simlint:owned
 	// tokenLaunched/roundStart are PE 0's round bookkeeping. idleMarked is
 	// set while the PE sits in its idle escalation; visitIdle/visitDone
 	// record whether the last token visit found it idle and which
@@ -83,7 +83,7 @@ type PE struct {
 	// equals the sum of kp.live() over this PE's KPs — which is also the
 	// number of live state saves under copy state saving (one snapshot per
 	// uncommitted event). checkInvariants asserts the identity.
-	liveEvents int64 //simlint:sharded
+	liveEvents int64 //simlint:owned
 	// sweepSince counts scheduler passes since the last in-run invariant
 	// sweep (Config.InvariantSweep).
 	sweepSince int

@@ -39,20 +39,23 @@ type Recycler interface {
 // get and put need no synchronisation. LIFO maximises cache warmth: the
 // most recently dead event is the next one reissued.
 type eventPool struct {
-	free []*Event
+	free []*Event //simlint:owned
 
-	// Counters for Stats. live tracks this pool's net outstanding events
-	// (gets minus puts); because events allocated on one PE may die on
-	// another, a single pool's live count is approximate — it can even go
-	// negative on a PE that frees more than it allocates — but the sum
-	// over all pools is exact net allocation, and livePeak bounds each
-	// pool's contribution to the optimistic memory footprint.
-	hits     int64 // gets served from the free list
-	misses   int64 // gets that had to allocate
-	recycled int64 // puts (events returned to the pool)
-	payloads int64 // payloads handed back to a model's Recycler
-	live     int64
-	livePeak int64
+	// Counters for Stats: hits are gets served from the free list, misses
+	// the gets that had to allocate, recycled the puts, payloads those
+	// handed back to a model's Recycler. live tracks this pool's net
+	// outstanding events (gets minus puts); because events allocated on
+	// one PE may die on another, a single pool's live count is
+	// approximate — it can even go negative on a PE that frees more than
+	// it allocates — but the sum over all pools is exact net allocation,
+	// and livePeak bounds each pool's contribution to the optimistic
+	// memory footprint.
+	hits     int64 //simlint:sharded
+	misses   int64 //simlint:sharded
+	recycled int64 //simlint:sharded
+	payloads int64 //simlint:sharded
+	live     int64 //simlint:sharded
+	livePeak int64 //simlint:sharded
 }
 
 // get returns a ready-to-initialise event: recycled when possible,

@@ -286,6 +286,8 @@ type Simulator struct {
 
 // New builds a simulator: LPs, their KP/PE placement, queues and random
 // streams. Attach model handlers with ForEachLP or LP before calling Run.
+//
+//simlint:crosspe construction: the PE goroutines have not started, and Run's goroutine spawn orders these writes before them
 func New(cfg Config) (*Simulator, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err

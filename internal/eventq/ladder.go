@@ -68,10 +68,12 @@ type Ladder[T any] struct {
 
 	// Shared bucket arena: arenaVals[s] holds an element, arenaNext[s]
 	// the next slot in its bucket's list (-1 ends it). Free slots are
-	// threaded through arenaNext from arenaFree.
-	arenaVals []T
-	arenaNext []int32
-	arenaFree int32
+	// threaded through arenaNext from arenaFree. The arena is owned by
+	// the PE goroutine running the queue: a recycled slot is reissued on
+	// the next Push, so any cross-goroutine reference is a use-after-free.
+	arenaVals []T     //simlint:owned
+	arenaNext []int32 //simlint:owned
+	arenaFree int32   //simlint:owned
 
 	scratch []T // merge-sort scratch, recycled across sorts
 }

@@ -1,6 +1,8 @@
 package simcheck
 
 import (
+	"sync/atomic"
+
 	"repro/internal/core"
 	"repro/internal/phold"
 	"repro/internal/routing"
@@ -33,11 +35,18 @@ const (
 	// the same cell commit different histories, so the matrix must report
 	// a divergence. PHOLD only.
 	MutMapOrder Mutation = "map-order"
+	// MutOwnership writes to another slot's goroutine-owned counter from
+	// outside its owner's methods — the cross-PE sharing bug class
+	// simlint's ownercheck rejects statically. Unlike the mutations above
+	// it is detected at lint time, not by the differential oracle: the
+	// seeded write lives permanently in ownershipNoise below, where
+	// TestMutationOwnershipDetected asserts ownercheck flags it.
+	MutOwnership Mutation = "ownership"
 )
 
 // Mutations lists the seeded bugs available to -mutation.
 func Mutations() []Mutation {
-	return []Mutation{MutBrokenReverse, MutBrokenPriority, MutMapOrder}
+	return []Mutation{MutBrokenReverse, MutBrokenPriority, MutMapOrder, MutOwnership}
 }
 
 // brokenReverse skips the inner Reverse on odd LPs. Commit must still chain
@@ -106,6 +115,75 @@ func (m mapOrderNoise) Reverse(lp *core.LP, ev *core.Event) {
 
 func (m mapOrderNoise) Commit(lp *core.LP, ev *core.Event) {
 	if committer, ok := m.inner.(core.Committer); ok {
+		committer.Commit(lp, ev)
+	}
+}
+
+// peCounter is one slot of the ownership-mutation ledger. Its events
+// field is goroutine-owned: only the slot's owner — via bump, on the PE
+// executing that slot's LP — may touch it.
+type peCounter struct {
+	events int64 //simlint:owned
+}
+
+// bump is the owner-side increment; it exists so the seeded bug below has
+// a correct counterpart to contrast with.
+func (c *peCounter) bump() { c.events++ }
+
+// publishCell is the seeded publish-order bug: ready is tagged as the
+// atomic guard publishing total, but leak stores total *after* ready —
+// so a consumer that trusted the guard could read total mid-write. The
+// cell is only ever touched from LP 0's goroutine (no consumer exists),
+// so arming it races nothing; the bug is caught statically by
+// atomiccheck, not by the oracle.
+type publishCell struct {
+	//simlint:publishes total
+	ready atomic.Int64
+	total int64
+}
+
+func (p *publishCell) leak(v int64) {
+	p.ready.Store(1)
+	p.total = v //simlint:crosspe seeded publish-order bug: stores the payload after the guard that publishes it; TestMutationPublishOrderDetected asserts atomiccheck flags this line
+}
+
+// ownershipNoise is the MutOwnership wrapper: each event first bumps the
+// executing LP's own ledger slot (legal), then LP 0's handler also pokes
+// slot 1 — a write to a goroutine-owned field from outside its owner's
+// methods, the exact shape ownercheck exists to reject — and leaks a
+// running total through the mis-ordered publishCell. Both writes are
+// confined to LP 0's goroutine so arming the mutation races nothing and
+// perturbs no model state; the bugs are caught statically, not by the
+// oracle.
+type ownershipNoise struct {
+	inner  core.Handler
+	ledger []peCounter
+	cell   *publishCell
+}
+
+// ownershipLedgerSlots sizes the shared ledger; slots are indexed modulo,
+// so any LP population maps onto it.
+const ownershipLedgerSlots = 4
+
+func (o ownershipNoise) Forward(lp *core.LP, ev *core.Event) {
+	o.inner.Forward(lp, ev)
+	if n := len(o.ledger); n > 0 {
+		o.ledger[int(lp.ID)%n].bump()
+		if lp.ID == 0 && n > 1 {
+			o.ledger[1].events++ //simlint:crosspe seeded ownership bug: slot 1 belongs to another LP's owner; TestMutationOwnershipDetected asserts ownercheck flags this line
+			o.cell.leak(o.ledger[1].events)
+		}
+	}
+}
+
+func (o ownershipNoise) Reverse(lp *core.LP, ev *core.Event) {
+	// The ledger is diagnostic-only (never folded into model state), so
+	// leaving the counts un-reversed cannot diverge committed histories.
+	o.inner.Reverse(lp, ev)
+}
+
+func (o ownershipNoise) Commit(lp *core.LP, ev *core.Event) {
+	if committer, ok := o.inner.(core.Committer); ok {
 		committer.Commit(lp, ev)
 	}
 }

@@ -526,6 +526,14 @@ func (in *instance) instrument(c Cell) {
 		}
 	}
 	in.rec = trace.NewRecorder(0)
+	var ledger []peCounter
+	var cell *publishCell
+	if c.Mutation == MutOwnership {
+		// One shared ledger across the cell's wrappers, so LP 0's seeded
+		// cross-slot write really does touch another LP's slot.
+		ledger = make([]peCounter, ownershipLedgerSlots)
+		cell = &publishCell{}
+	}
 	in.host.ForEachLP(func(lp *core.LP) {
 		h := lp.Handler
 		switch c.Mutation {
@@ -533,6 +541,8 @@ func (in *instance) instrument(c Cell) {
 			h = brokenReverse{inner: h}
 		case MutMapOrder:
 			h = mapOrderNoise{inner: h}
+		case MutOwnership:
+			h = ownershipNoise{inner: h, ledger: ledger, cell: cell}
 		}
 		lp.Handler = trace.Wrap(h, in.rec, in.describe)
 	})
