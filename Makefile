@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-all simcheck simlint soak lint check figures figures-full examples clean
+.PHONY: all build test race cover bench bench-all simcheck simlint soak crashtest lint check figures figures-full examples clean
 
 all: build test
 
@@ -43,6 +43,14 @@ SOAK_WALL ?= 90s
 soak:
 	$(GO) run ./cmd/soaktest -seed $(SOAK_SEED) -wall $(SOAK_WALL) -artifacts soak-artifacts
 
+# Crash-recovery smoke: build a crashpoints-tagged child (with -race),
+# SIGKILL it at every registered kill point inside checkpoint publication,
+# and require each resumed run to reproduce the uninterrupted recording
+# bit-for-bit (docs/TESTING.md, "Crash testing"). The nightly CI job runs
+# the randomized variant (-iters) with a rotating seed.
+crashtest:
+	$(GO) run ./cmd/crashtest -race -artifacts crash-artifacts
+
 # Static analysis: gofmt, go vet, and the simlint Time Warp contract
 # checkers (docs/ANALYSIS.md). Fails on any unannotated finding.
 # (staticcheck would slot in here, but the build environment is offline;
@@ -55,26 +63,23 @@ lint: simlint
 	fi
 
 # Everything a PR must pass: vet, lint, tests, race tests, differential
-# matrix.
-check: build lint test race simcheck
+# matrix, crash-recovery sweep.
+check: build lint test race simcheck crashtest
 
 cover:
 	$(GO) test ./internal/... -cover
 
 # Figure benchmarks with allocation accounting, captured as a machine-
 # readable trajectory (format documented in EXPERIMENTS.md). The baseline
-# is the committed PR6 result set (barrier GVT): the default engine is now
-# the asynchronous token GVT, which is structurally disadvantaged on a
-# single core — there is no idle processor for the non-blocking rounds to
-# exploit, while barrier lockstep costs almost nothing there — so the
-# gates hold async mode to 1-core parity (see EXPERIMENTS.md for the
-# multi-core expectation). ns/op gates are generous, and each benchmark
-# runs three times with benchjson -best keeping the fastest sample:
-# wall-clock noise on a shared host is one-sided (interference only slows
-# a run) and was measured swinging 2-3x between samples, far past any
-# honest gate factor. The allocs gates are hardware-independent and also
-# police the speculation quota (unthrottled async speculation would blow
-# the event pool past its barrier-mode footprint).
+# is the committed PR8 result set (ladder queue default). This PR's story
+# is that checkpointing *disabled* is perf-neutral: with no sink armed the
+# kernel's checkpoint hook is one nil test per GVT round and the crash
+# kill points compile to no-ops without the crashpoints tag — so the
+# ns/op and allocs/op gates are held to 1.05x of the PR8 baseline, far
+# tighter than the cross-structure PR8 gates. Each benchmark still runs
+# three times with benchjson -best keeping the fastest sample: wall-clock
+# noise on a shared host is one-sided (interference only slows a run), so
+# best-of-three is what makes a 1.05x wall-clock gate honest.
 # The queue microbenchmark gates are absolute (speedup is splay's best
 # hold round over the ladder's within one sample, so the ratio is immune
 # to host-wide slowdowns): the ladder must beat the splay tree on the
@@ -85,18 +90,18 @@ cover:
 bench:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x -count=3 -benchmem . ./internal/eventq \
 	  | $(GO) run ./cmd/benchjson -best \
-	      -label "PR8 ladder queue (default) vs PR7 splay" \
-	      -baseline BENCH_PR7.json \
-	      -check 'KernelPHOLD/pe1:ns/op<=1.2*baseline' \
-	      -check 'KernelPHOLD/pe4:ns/op<=1.2*baseline' \
+	      -label "PR10 checkpointing disarmed vs PR8" \
+	      -baseline BENCH_PR8.json \
+	      -check 'KernelPHOLD/pe1:ns/op<=1.05*baseline' \
+	      -check 'KernelPHOLD/pe4:ns/op<=1.05*baseline' \
 	      -check 'KernelPHOLD/pe1:allocs/op<=1.05*baseline' \
 	      -check 'KernelPHOLD/pe4:allocs/op<=1.05*baseline' \
-	      -check 'KernelTorusComms/pe4:ns/op<=1.2*baseline' \
+	      -check 'KernelTorusComms/pe4:ns/op<=1.05*baseline' \
 	      -check 'KernelTorusComms/pe4:allocs/op<=1.05*baseline' \
 	      -check 'QueueLadderVsSplay/n=100000:speedup>=1.0' \
 	      -check 'QueueLadderVsSplay/n=1000000:speedup>=1.0' \
-	      -out BENCH_PR8.json
-	@echo wrote BENCH_PR8.json
+	      -out BENCH_PR10.json
+	@echo wrote BENCH_PR10.json
 
 # Every benchmark in every package, human-readable.
 bench-all:

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 var binDir string
@@ -19,7 +20,7 @@ func TestMain(m *testing.M) {
 		panic(err)
 	}
 	binDir = dir
-	for _, tool := range []string{"hotpotato", "figures", "phold", "replay", "soaktest"} {
+	for _, tool := range []string{"hotpotato", "figures", "phold", "replay", "soaktest", "crashtest"} {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "repro/cmd/"+tool)
 		cmd.Dir = ".."
 		if out, err := cmd.CombinedOutput(); err != nil {
@@ -188,6 +189,81 @@ func TestReplayCLI(t *testing.T) {
 	runExpectError(t, "replay", "-mode", "warp9", clean)
 	runExpectError(t, "replay", "-record", "-model", "nonesuch", "-o", filepath.Join(dir, "x.replay"))
 	runExpectError(t, "replay")
+}
+
+// TestReplayCheckpointCLI drives the crash-recovery loop through the
+// replay binary with a real SIGKILL and no build tags: record, run a
+// checkpointed verify, kill it as soon as a checkpoint is published,
+// resume from the survivor and require exit 0. The artifact-path
+// convention holds throughout: the checkpoint directory is the only state
+// shared between the killed process and its successor.
+func TestReplayCheckpointCLI(t *testing.T) {
+	dir := t.TempDir()
+	lg := filepath.Join(dir, "run.replay")
+	ck := filepath.Join(dir, "ck")
+
+	run(t, "replay", "-record", "-model", "hotpotato", "-pes", "4", "-seed", "11", "-end", "90", "-o", lg)
+
+	// Launch a checkpointed verify and SIGKILL it once the first checkpoint
+	// publishes (MANIFEST appearing is the publication point).
+	cmd := exec.Command(filepath.Join(binDir, "replay"),
+		"-checkpoint-dir", ck, "-checkpoint-every", "8", lg)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	manifest := filepath.Join(ck, "MANIFEST")
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if _, err := os.Stat(manifest); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatal("no checkpoint published within 60s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cmd.Process.Kill() // SIGKILL: no cleanup handlers run
+	cmd.Wait()
+
+	// The killed run's directory must resume and verify cleanly...
+	out := run(t, "replay", "-resume", "-checkpoint-dir", ck, lg)
+	if !strings.Contains(out, "resume reproduces") {
+		t.Fatalf("resume output wrong:\n%s", out)
+	}
+	// ...and resume without a published checkpoint is a usage error.
+	out = runExpectError(t, "replay", "-resume", "-checkpoint-dir", filepath.Join(dir, "empty"), lg)
+	if !strings.Contains(out, "no checkpoint") {
+		t.Fatalf("expected ErrNoCheckpoint, got:\n%s", out)
+	}
+	runExpectError(t, "replay", "-resume", lg)
+	runExpectError(t, "replay", "-mode", "sequential", "-checkpoint-dir", ck, lg)
+}
+
+// TestHotpotatoCheckpointCLI covers the stats binary's checkpoint flags: a
+// run that checkpoints and a run resumed from its last published
+// checkpoint must print identical network statistics.
+func TestHotpotatoCheckpointCLI(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "ck")
+	args := []string{"-n", "8", "-steps", "40", "-seed", "5", "-pes", "4", "-kps", "8", "-checkpoint-dir", ck}
+	full := run(t, "hotpotato", args...)
+	resumed := run(t, "hotpotato", append(args, "-resume")...)
+	if !strings.Contains(resumed, "resumed from checkpoint") {
+		t.Fatalf("resume banner missing:\n%s", resumed)
+	}
+	stats := func(out string) string {
+		idx := strings.Index(out, "network:")
+		if idx < 0 {
+			t.Fatalf("no network block:\n%s", out)
+		}
+		return out[idx:]
+	}
+	if stats(full) != stats(resumed) {
+		t.Fatalf("resumed statistics differ:\n%s\nvs\n%s", stats(full), stats(resumed))
+	}
+	runExpectError(t, "hotpotato", "-sequential", "-checkpoint-dir", ck)
+	runExpectError(t, "hotpotato", "-resume")
 }
 
 // TestSoaktestCLI covers the chaos harness binary: a seeded smoke soak is

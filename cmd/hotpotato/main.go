@@ -7,6 +7,15 @@
 //	hotpotato -n 32 -steps 200
 //	hotpotato -n 64 -inject 50 -policy greedy -pes 4 -kps 64
 //	hotpotato -n 16 -sequential -seed 7
+//
+// Crash recovery (Time Warp engine only): -checkpoint-dir publishes a
+// crash-atomic checkpoint of the committed state every -checkpoint-every
+// GVT rounds; -resume restores the directory's published checkpoint into a
+// fresh build of the same configuration and runs only the remaining steps
+// (see docs/CHECKPOINT.md):
+//
+//	hotpotato -n 16 -steps 500 -checkpoint-dir ck
+//	hotpotato -n 16 -steps 500 -checkpoint-dir ck -resume
 package main
 
 import (
@@ -20,6 +29,7 @@ import (
 	"repro/internal/eventq"
 	"repro/internal/hotpotato"
 	"repro/internal/profiling"
+	"repro/internal/replay"
 	"repro/internal/routing"
 	"repro/internal/traffic"
 )
@@ -45,6 +55,9 @@ func main() {
 		sequential = flag.Bool("sequential", false, "run the sequential reference engine instead of Time Warp")
 		kernel     = flag.Bool("kernel", false, "also print kernel statistics")
 		progress   = flag.Bool("progress", false, "report GVT progress to stderr during long parallel runs")
+		ckptDir    = flag.String("checkpoint-dir", "", "publish periodic checkpoints into this directory (Time Warp only)")
+		ckptN      = flag.Int("checkpoint-every", 32, "checkpoint cadence in GVT rounds")
+		resume     = flag.Bool("resume", false, "restore -checkpoint-dir's published checkpoint before running")
 	)
 	prof := profiling.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -100,6 +113,9 @@ func main() {
 		ks     *core.Stats
 	)
 	if *sequential {
+		if *ckptDir != "" || *resume {
+			fatal(fmt.Errorf("checkpointing is a Time Warp feature; drop -sequential"))
+		}
 		seq, model, err := hotpotato.BuildSequential(cfg)
 		if err != nil {
 			fatal(err)
@@ -113,6 +129,30 @@ func main() {
 		sim, model, err := hotpotato.Build(cfg)
 		if err != nil {
 			fatal(err)
+		}
+		if *resume {
+			if *ckptDir == "" {
+				fatal(fmt.Errorf("-resume needs -checkpoint-dir"))
+			}
+			cp, err := replay.LoadCheckpoint(*ckptDir)
+			if err != nil {
+				fatal(err)
+			}
+			if err := replay.RestoreCheckpoint(cp, sim, nil); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("resumed from checkpoint: gvt=%.2f, %d events already committed\n",
+				float64(cp.GVT), cp.Committed)
+		}
+		if *ckptDir != "" {
+			// The CLI run carries no commit recorder, so its checkpoints omit
+			// the trace digests; state, RNG streams and the event frontier
+			// still travel, which is all a stats run needs to continue.
+			w, err := replay.NewCheckpointWriter(*ckptDir, hotpotato.StateCodecName, hotpotato.CodecName, nil)
+			if err != nil {
+				fatal(err)
+			}
+			sim.SetCheckpoint(w, *ckptN)
 		}
 		ks, err = sim.Run()
 		if err != nil {

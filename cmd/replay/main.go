@@ -13,6 +13,15 @@
 //	replay -dump run.replay              # decode and print the log
 //	replay -shrink run.replay            # minimise a FAILING log
 //
+//	replay -checkpoint-dir ck run.replay # verify + periodic checkpoints
+//	replay -resume -checkpoint-dir ck run.replay   # resume + verify tail
+//
+// With -checkpoint-dir the optimistic re-run publishes a crash-atomic
+// checkpoint into the directory every -checkpoint-every GVT rounds; with
+// -resume the run instead restores the directory's published checkpoint
+// and verifies the resumed tail (and composed final fingerprint) against
+// the recording — the crash-recovery path (see docs/CHECKPOINT.md).
+//
 // Verify exits 0 when the re-run reproduces every recorded fingerprint,
 // 1 when it diverges, 2 on usage or I/O errors.
 package main
@@ -45,6 +54,9 @@ func main() {
 		mutation = flag.String("mutation", "", "arm a seeded bug when recording (demo; see simcheck -mutation)")
 		faults   = flag.String("faults", "", "kernel fault plan when recording: default or burst (empty = clean)")
 		verbose  = flag.Bool("v", false, "verbose: shrink progress, full dump")
+		ckptDir  = flag.String("checkpoint-dir", "", "publish periodic checkpoints into this directory during verify")
+		ckptN    = flag.Int("checkpoint-every", simcheck.CheckpointEvery, "checkpoint cadence in GVT rounds")
+		resume   = flag.Bool("resume", false, "restore -checkpoint-dir's published checkpoint and verify the resumed run")
 	)
 	flag.Parse()
 
@@ -122,19 +134,42 @@ func main() {
 		default:
 			fatal(fmt.Errorf("unknown -mode %q (verify or sequential)", *mode))
 		}
-		diffs, err := replay.Replay(simcheck.Runner{}, lg, eng)
+		what := *mode
+		var diffs []string
+		switch {
+		case *resume:
+			// Resume is an optimistic-kernel feature; the checkpoint names
+			// the state codec, the log names the model.
+			if *ckptDir == "" {
+				fatal(fmt.Errorf("-resume needs -checkpoint-dir"))
+			}
+			if eng != replay.EngineOptimistic {
+				fatal(fmt.Errorf("-resume requires -mode verify (the optimistic engine)"))
+			}
+			what = "resume"
+			diffs, err = replay.ResumeVerify(simcheck.Runner{}, lg, *ckptDir)
+		case *ckptDir != "":
+			if eng != replay.EngineOptimistic {
+				fatal(fmt.Errorf("-checkpoint-dir requires -mode verify (the optimistic engine)"))
+			}
+			what = "checkpointed verify"
+			diffs, err = replay.ReplayCheckpointed(simcheck.Runner{}, lg,
+				*ckptDir, simcheck.StateCodecName(lg.Spec.Model), *ckptN)
+		default:
+			diffs, err = replay.Replay(simcheck.Runner{}, lg, eng)
+		}
 		if err != nil {
 			fatal(err)
 		}
 		if len(diffs) > 0 {
-			fmt.Fprintf(os.Stderr, "replay: %s DIVERGES from recording %s:\n", *mode, path)
+			fmt.Fprintf(os.Stderr, "replay: %s DIVERGES from recording %s:\n", what, path)
 			for _, d := range diffs {
 				fmt.Fprintf(os.Stderr, "  %s\n", d)
 			}
 			os.Exit(1)
 		}
 		fmt.Printf("replay: %s reproduces %s (%d injections, %d rounds, %d committed events)\n",
-			*mode, path, len(lg.Inject), len(lg.Rounds), lg.Final.Committed)
+			what, path, len(lg.Inject), len(lg.Rounds), lg.Final.Committed)
 	}
 }
 

@@ -1,0 +1,239 @@
+package core
+
+import "sort"
+
+// This file is the kernel side of checkpoint/restore: a periodic capture of
+// the committed below-GVT state, taken at a GVT commit point, plus the
+// resume hooks a fresh simulator uses to continue a captured run.
+//
+// # What a checkpoint is
+//
+// The capture happens at a coordinated rendezvous keyed to one GVT
+// estimate g: every PE reaches the no-mail-in-flight fixed point, fossil-
+// collects everything below g, then rolls every KP back to exactly g —
+// re-pending its speculative work and cancelling the events that work had
+// sent — and one more fixed point drains those cancellations. At that
+// moment the machine IS the committed prefix: every LP state, RNG stream
+// and send sequence is exactly what a run that executed only the events
+// below g would hold, and the pending queues hold exactly the frontier —
+// the events at or beyond g sent by committed causes (or bootstrap). The
+// rollback is pure scheduling: the re-pended events re-execute afterwards
+// and commit the same results, so an unkilled run is unchanged (the
+// differential tests hold checkpointing runs to the sequential oracle).
+//
+// Rolling back to GVT instead of snapshotting live speculation is what
+// keeps the capture consistent and small: speculative state may be wrong
+// (that is the point of Time Warp), and in-flight anti-message chains have
+// no consistent cut — whereas the committed prefix is immutable by
+// definition of GVT.
+//
+// # Resume
+//
+// A resumed run is a fresh Simulator whose bootstrap is the checkpointed
+// frontier (ScheduleRestored keeps each event's original identity, so the
+// total order — and therefore the committed schedule — is untouched) and
+// whose LP states, RNG streams and send sequences are reinstated
+// (RestoreLP plus the model state codec in internal/replay). Everything
+// the resumed run commits has T >= g; its trace appended to the
+// checkpoint's trace prefix reproduces the uninterrupted run bit-for-bit,
+// which is exactly what the crash harness asserts. The serialization,
+// file format and atomic publication live in internal/replay
+// (docs/CHECKPOINT.md); the kernel only hands a CheckpointState to the
+// sink while the machine is provably quiescent.
+
+// CheckpointLP is one LP's captured committed state. State aliases the
+// live lp.State object — the sink must serialize it before returning.
+type CheckpointLP struct {
+	State    any
+	RNG      [4]uint64
+	RNGDraws uint64
+	SendSeq  uint64
+}
+
+// CheckpointEvent is one frontier event: pending, uncommitted, receive
+// time at or beyond the checkpoint's GVT, sent by a committed event (src,
+// seq from its original send) or by bootstrap (src == NoLP). Data aliases
+// the live payload — the sink must serialize it before returning.
+type CheckpointEvent struct {
+	T    Time
+	Dst  LPID
+	Src  LPID
+	Seq  uint64
+	Data any
+}
+
+// CheckpointState is the consistent cut handed to a CheckpointSink: the
+// committed prefix below GVT plus the frontier that regenerates the rest.
+// Frontier is sorted by the kernel's total event order.
+type CheckpointState struct {
+	GVT       Time
+	Committed int64
+	LPs       []CheckpointLP
+	Frontier  []CheckpointEvent
+}
+
+// CheckpointSink consumes periodic checkpoints. Checkpoint is called on
+// PE 0's goroutine while every other PE is parked at a barrier, so the
+// state is quiescent for the duration of the call; an error poisons the
+// run (it surfaces from Run on every PE). The sink must not retain cs or
+// anything reachable from it after returning.
+type CheckpointSink interface {
+	Checkpoint(cs *CheckpointState) error
+}
+
+// SetCheckpoint arms periodic checkpointing: every everyRounds completed
+// GVT rounds (at least 1) with a positive estimate, the kernel rendezvouses,
+// rolls back to the estimate and hands the committed state to sink. Must be
+// called before Run; a nil sink disarms. Like SetRecord, this is how
+// harnesses reach a model-built simulator.
+func (s *Simulator) SetCheckpoint(sink CheckpointSink, everyRounds int) {
+	if s.ran {
+		panic("core: SetCheckpoint after Run")
+	}
+	s.ckptSink = sink
+	if everyRounds < 1 {
+		everyRounds = 1
+	}
+	s.ckptEvery = int64(everyRounds)
+}
+
+// checkpointDue is PE 0's per-round arming decision, made while it owns the
+// round (between gvtRound's barriers, or in completeRound). Checkpoints at
+// estimate 0 are skipped — there is nothing committed to capture — and a
+// finishing round never checkpoints (the run is about to produce its final
+// state anyway).
+func (s *Simulator) checkpointDue(round int64, est Time) bool {
+	return s.ckptSink != nil && est > 0 && est < s.cfg.EndTime &&
+		round-s.ckptLastRound >= s.ckptEvery
+}
+
+// checkpointRendezvous is the all-PE capture protocol, entered by every PE
+// in the same GVT round (barrier mode: the ckptDue flag published inside
+// the round; async mode: the ckptPending flag set by completeRound). gvt is
+// the current published estimate, stable for the duration — only PE 0
+// advances it and PE 0 is in here.
+func (pe *PE) checkpointRendezvous(gvt Time) error {
+	s := pe.sim
+	// Quiesce: drain every lane and outbox to the sent == delivered fixed
+	// point, so all mail is resident in pending queues and the straggler/
+	// cancellation state below is complete.
+	if err := pe.commsFixedPoint(); err != nil {
+		return err
+	}
+	// Commit everything below the estimate (idempotent where a mode already
+	// collected this round), then unwind everything at or beyond it. The
+	// rollback key sorts before every real event at time gvt, so each KP's
+	// whole speculative suffix re-pends and its sends are cancelled; KPs end
+	// empty (live() == 0, hasLast false), LP states/RNGs/sequences end at
+	// their committed values.
+	pe.fossilCollect(gvt)
+	if s.async && gvt > pe.lastFossil {
+		pe.lastFossil = gvt
+	}
+	key := eventKey{recvTime: gvt, dst: -1 << 31, src: -1 << 31}
+	for _, kp := range pe.kps {
+		pe.rollback(kp, key)
+	}
+	// Drain the anti-messages the rollback just posted. Every KP is empty,
+	// so arriving cancellations only mark pending events — no cascades —
+	// and the fixed point leaves the frontier fully resolved: statePending
+	// events are exactly the committed-cause sends, stateCanceled husks are
+	// the rolled-back speculation's.
+	if err := pe.commsFixedPoint(); err != nil {
+		return err
+	}
+	if pe.id == 0 {
+		err := s.captureCheckpoint(gvt)
+		s.ckptDue = false
+		s.ckptPending.Store(false)
+		s.ckptLastRound = s.gvtRounds.Load()
+		if err != nil {
+			s.fail(err)
+			return err
+		}
+	}
+	// Release barrier: the other PEs wait here while PE 0 captures (their
+	// last fixed-point barrier orders their writes before its reads), then
+	// everyone resumes and re-executes the unwound suffix.
+	return pe.await()
+}
+
+// captureCheckpoint assembles the CheckpointState and hands it to the sink.
+// PE 0 only, between the rendezvous barriers: every other PE is blocked at
+// the release barrier, so the cross-PE reads below are barrier-ordered.
+func (s *Simulator) captureCheckpoint(gvt Time) error {
+	cs := &CheckpointState{GVT: gvt}
+	for _, pe := range s.pes {
+		cs.Committed += pe.committed //simlint:crosspe barrier-ordered read inside the checkpoint rendezvous
+	}
+	cs.LPs = make([]CheckpointLP, len(s.lps))
+	for i, lp := range s.lps {
+		cs.LPs[i] = CheckpointLP{
+			State:    lp.State,
+			RNG:      lp.rng.State(),
+			RNGDraws: lp.rng.Draws(),
+			SendSeq:  lp.sendSeq,
+		}
+	}
+	for _, pe := range s.pes {
+		pe.pending.Each(func(ev *Event) { //simlint:crosspe barrier-ordered read inside the checkpoint rendezvous
+			if ev.state != statePending {
+				return // cancelled husks: rolled-back speculation, reclaimed later
+			}
+			cs.Frontier = append(cs.Frontier, CheckpointEvent{
+				T: ev.recvTime, Dst: ev.dst, Src: ev.src, Seq: ev.seq, Data: ev.Data,
+			})
+		})
+	}
+	sort.Slice(cs.Frontier, func(i, j int) bool {
+		a, b := cs.Frontier[i], cs.Frontier[j]
+		if a.T != b.T {
+			return a.T < b.T
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		return a.Seq < b.Seq
+	})
+	return s.ckptSink.Checkpoint(cs)
+}
+
+// RestoreLP reinstates one LP's checkpointed RNG stream and send sequence
+// (the model state itself is restored in place through lp.State by the
+// caller, typically via a replay.StateCodec). Only legal before Run.
+func (s *Simulator) RestoreLP(id LPID, state [4]uint64, draws, sendSeq uint64) error {
+	if s.ran {
+		panic("core: RestoreLP after Run")
+	}
+	lp := s.lookup(id)
+	if lp == nil {
+		panic("core: RestoreLP for unknown LP")
+	}
+	if err := lp.rng.Restore(state, draws); err != nil {
+		return err
+	}
+	lp.sendSeq = sendSeq
+	return nil
+}
+
+// ScheduleRestored enqueues one checkpointed frontier event before the run
+// starts, preserving its original identity (src — NoLP for bootstrap —
+// and per-source sequence), so the kernel's total order places it exactly
+// where the original run did. Use after DropBootstrap when resuming; do not
+// mix with Schedule, whose events draw from the bootstrap sequence.
+func (s *Simulator) ScheduleRestored(dst LPID, t Time, src LPID, seq uint64, data any) {
+	if s.ran {
+		panic("core: ScheduleRestored after Run")
+	}
+	if t < 0 {
+		panic("core: ScheduleRestored with negative time")
+	}
+	if dst < 0 || int(dst) >= len(s.lps) {
+		panic("core: ScheduleRestored to unknown LP")
+	}
+	ev := &Event{recvTime: t, dst: dst, src: src, seq: seq, Data: data}
+	s.boot = append(s.boot, ev)
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// captureSink deep-copies every CheckpointState it is handed (the kernel
+// contract says the sink must not retain the originals) so tests can
+// inspect the captures after the run.
+type captureSink struct {
+	caps []capturedCkpt
+	fail error // returned from Checkpoint when set
+}
+
+type capturedCkpt struct {
+	GVT       Time
+	Committed int64
+	States    []stressState
+	RNGs      [][4]uint64
+	Draws     []uint64
+	SendSeqs  []uint64
+	Frontier  []CheckpointEvent // Data replaced by a copied stressMsg value
+}
+
+func (c *captureSink) Checkpoint(cs *CheckpointState) error {
+	if c.fail != nil {
+		return c.fail
+	}
+	cap := capturedCkpt{GVT: cs.GVT, Committed: cs.Committed}
+	for _, lp := range cs.LPs {
+		cap.States = append(cap.States, *lp.State.(*stressState))
+		cap.RNGs = append(cap.RNGs, lp.RNG)
+		cap.Draws = append(cap.Draws, lp.RNGDraws)
+		cap.SendSeqs = append(cap.SendSeqs, lp.SendSeq)
+	}
+	for _, ev := range cs.Frontier {
+		msg := *ev.Data.(*stressMsg)
+		cap.Frontier = append(cap.Frontier, CheckpointEvent{
+			T: ev.T, Dst: ev.Dst, Src: ev.Src, Seq: ev.Seq, Data: &msg,
+		})
+	}
+	c.caps = append(c.caps, cap)
+	return nil
+}
+
+func ckptTestConfig(mode string) Config {
+	return Config{
+		NumLPs: 16, NumPEs: 4, NumKPs: 8, EndTime: 30, Seed: 3,
+		BatchSize: 8, GVTInterval: 2, GVTMode: mode,
+	}
+}
+
+// TestCheckpointCaptureConsistentCut runs the stress model with periodic
+// checkpoints and verifies every capture is a well-formed consistent cut:
+// GVT strictly advances across captures, committed counts never regress,
+// the frontier is strictly sorted in the kernel's total event order and
+// never dips below the capture's GVT — and arming the sink leaves the
+// committed results untouched (the rendezvous is scheduling-only).
+func TestCheckpointCaptureConsistentCut(t *testing.T) {
+	for _, mode := range []string{GVTAsync, GVTBarrier} {
+		t.Run(mode, func(t *testing.T) {
+			want, wantStats := runStressParallel(t, ckptTestConfig(mode), 12)
+
+			s, err := New(ckptTestConfig(mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			model := stressModel{numLPs: int64(s.NumLPs())}
+			s.ForEachLP(func(lp *LP) { lp.Handler = model; lp.State = &stressState{} })
+			for i := 0; i < s.NumLPs(); i++ {
+				s.Schedule(LPID(i), Time(0.001*float64(i+1)), &stressMsg{TTL: 12})
+			}
+			sink := &captureSink{}
+			s.SetCheckpoint(sink, 4)
+			stats, err := s.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if len(sink.caps) == 0 {
+				t.Fatal("no checkpoints captured")
+			}
+			prevGVT := Time(-1)
+			prevCommitted := int64(-1)
+			for i, cap := range sink.caps {
+				if cap.GVT <= prevGVT {
+					t.Fatalf("capture %d: GVT %v did not advance past %v", i, cap.GVT, prevGVT)
+				}
+				if cap.GVT <= 0 || cap.GVT >= 30 {
+					t.Fatalf("capture %d: GVT %v outside (0, EndTime)", i, cap.GVT)
+				}
+				if cap.Committed < prevCommitted {
+					t.Fatalf("capture %d: committed %d regressed from %d", i, cap.Committed, prevCommitted)
+				}
+				prevGVT, prevCommitted = cap.GVT, cap.Committed
+				if len(cap.States) != s.NumLPs() {
+					t.Fatalf("capture %d: %d LP states, want %d", i, len(cap.States), s.NumLPs())
+				}
+				for j, ev := range cap.Frontier {
+					if ev.T < cap.GVT {
+						t.Fatalf("capture %d: frontier event %d at %v below GVT %v", i, j, ev.T, cap.GVT)
+					}
+					if j > 0 {
+						p := cap.Frontier[j-1]
+						if !(p.T < ev.T || (p.T == ev.T && (p.Dst < ev.Dst ||
+							(p.Dst == ev.Dst && (p.Src < ev.Src || (p.Src == ev.Src && p.Seq < ev.Seq)))))) {
+							t.Fatalf("capture %d: frontier events %d and %d out of order", i, j-1, j)
+						}
+					}
+				}
+			}
+
+			// Scheduling-only: same committed count and final states as the
+			// uncheckpointed run.
+			if stats.Committed != wantStats.Committed {
+				t.Fatalf("checkpointed run committed %d events, want %d", stats.Committed, wantStats.Committed)
+			}
+			got := snapshotStress(s.NumLPs(), s.LP)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("LP %d final state %+v, want %+v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointRestoreRoundTrip is the kernel-level resume proof: restore
+// the last mid-run capture into a fresh simulator — states, RNG streams,
+// send sequences and the frontier with original event identities — run the
+// tail, and require the composed run to finish in exactly the
+// uninterrupted run's final states with exactly the remaining events
+// committed.
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	for _, mode := range []string{GVTAsync, GVTBarrier} {
+		t.Run(mode, func(t *testing.T) {
+			cfg := ckptTestConfig(mode)
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			model := stressModel{numLPs: int64(cfg.NumLPs)}
+			s.ForEachLP(func(lp *LP) { lp.Handler = model; lp.State = &stressState{} })
+			for i := 0; i < cfg.NumLPs; i++ {
+				s.Schedule(LPID(i), Time(0.001*float64(i+1)), &stressMsg{TTL: 12})
+			}
+			sink := &captureSink{}
+			s.SetCheckpoint(sink, 4)
+			stats, err := s.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := snapshotStress(s.NumLPs(), s.LP)
+			if len(sink.caps) == 0 {
+				t.Fatal("no checkpoints captured")
+			}
+			cp := sink.caps[len(sink.caps)-1]
+
+			r, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.ForEachLP(func(lp *LP) { lp.Handler = model })
+			for i := 0; i < cfg.NumLPs; i++ {
+				r.Schedule(LPID(i), Time(0.001*float64(i+1)), &stressMsg{TTL: 12})
+			}
+			r.DropBootstrap()
+			for i := 0; i < cfg.NumLPs; i++ {
+				st := cp.States[i]
+				r.LP(LPID(i)).State = &st
+				if err := r.RestoreLP(LPID(i), cp.RNGs[i], cp.Draws[i], cp.SendSeqs[i]); err != nil {
+					t.Fatalf("RestoreLP %d: %v", i, err)
+				}
+			}
+			for _, ev := range cp.Frontier {
+				msg := *ev.Data.(*stressMsg)
+				r.ScheduleRestored(ev.Dst, ev.T, ev.Src, ev.Seq, &msg)
+			}
+			tail, err := r.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if cp.Committed+tail.Committed != stats.Committed {
+				t.Fatalf("committed across the cut: %d + %d != %d",
+					cp.Committed, tail.Committed, stats.Committed)
+			}
+			got := snapshotStress(r.NumLPs(), r.LP)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("LP %d resumed final state %+v, want %+v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointSinkErrorPoisonsRun: a sink error must surface from Run —
+// a checkpoint that cannot be written is a failed run, not a silent skip.
+func TestCheckpointSinkErrorPoisonsRun(t *testing.T) {
+	s, err := New(ckptTestConfig(GVTAsync))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := stressModel{numLPs: int64(s.NumLPs())}
+	s.ForEachLP(func(lp *LP) { lp.Handler = model; lp.State = &stressState{} })
+	for i := 0; i < s.NumLPs(); i++ {
+		s.Schedule(LPID(i), Time(0.001*float64(i+1)), &stressMsg{TTL: 12})
+	}
+	boom := errors.New("disk on fire")
+	s.SetCheckpoint(&captureSink{fail: boom}, 2)
+	if _, err := s.Run(); err == nil || !strings.Contains(err.Error(), "disk on fire") {
+		t.Fatalf("Run error = %v, want the sink's error", err)
+	}
+}

@@ -193,6 +193,11 @@ func (pe *PE) gvtRound() (bool, error) {
 		if gvt >= s.cfg.EndTime {
 			s.finished.Store(true)
 		}
+		if s.checkpointDue(n, gvt) {
+			// Published to the other PEs by the barrier below; every PE
+			// routes into the rendezvous at the end of this round.
+			s.ckptDue = true
+		}
 		s.gvtRequested.Store(false)
 		pe.gvtLatency += time.Since(t0)
 	}
@@ -213,6 +218,13 @@ func (pe *PE) gvtRound() (bool, error) {
 	if s.cfg.CheckInvariants {
 		if err := pe.checkInvariants(gvt); err != nil {
 			s.fail(err)
+			return false, err
+		}
+	}
+	// ckptDue is barrier-ordered: PE 0 wrote the flag inside this round,
+	// before the barrier every PE crossed above.
+	if !done && s.ckptDue {
+		if err := pe.checkpointRendezvous(s.GVT()); err != nil {
 			return false, err
 		}
 	}

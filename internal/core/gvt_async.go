@@ -130,6 +130,15 @@ func (pe *PE) asyncPass() (bool, error) {
 			pe.opt.observe(pe.processed, pe.rolledBackEvents)
 		}
 	}
+	if s.ckptPending.Load() {
+		// A completed round armed a checkpoint: rendezvous before anything
+		// else — in particular before PE 0 can launch the next round, which
+		// is what makes the flag's lifetime race-free (only PE 0 sets it,
+		// and PE 0 is held in the rendezvous until the capture is done).
+		if err := pe.checkpointRendezvous(s.GVT()); err != nil {
+			return false, err
+		}
+	}
 	if s.token.holder.Load() == int64(pe.id) {
 		pe.tokenPass()
 	}
@@ -276,6 +285,13 @@ func (pe *PE) completeRound(est Time) {
 	pe.gvtLatency += time.Since(pe.roundStart)
 	if est >= s.cfg.EndTime {
 		s.finished.Store(true)
+		s.wakeAll()
+	} else if s.checkpointDue(n, est) {
+		// Arm the checkpoint rendezvous: every PE's next asyncPass — PE 0's
+		// included, before it can launch another round — routes into it.
+		// The wake covers parked PEs, and park's recheck keeps anyone from
+		// sleeping through the flag.
+		s.ckptPending.Store(true)
 		s.wakeAll()
 	} else if advanced {
 		// Parked PEs fossil-collect (and memory-throttled ones re-open

@@ -320,7 +320,7 @@ func (pe *PE) park() {
 	s := pe.sim
 	pe.parked.Store(true)
 	if pe.hasInbound() || len(pe.outbox.dirty) > 0 ||
-		s.gvtRequested.Load() || s.finished.Load() ||
+		s.gvtRequested.Load() || s.finished.Load() || s.ckptPending.Load() ||
 		(s.async && s.token.holder.Load() == int64(pe.id)) {
 		pe.parked.Store(false)
 		return

@@ -278,6 +278,19 @@ type Simulator struct {
 	async bool
 	token gvtToken
 
+	// Periodic checkpointing (SetCheckpoint; see checkpoint.go). ckptDue is
+	// barrier mode's round flag: PE 0 writes it between a round's barriers
+	// and every PE reads it after the next barrier, so it needs no atomic.
+	// ckptPending is the async mode's equivalent — there is no barrier to
+	// order a plain flag, so completeRound publishes it atomically and
+	// every PE's next asyncPass routes into the rendezvous. ckptLastRound
+	// is PE 0's bookkeeping only.
+	ckptSink      CheckpointSink
+	ckptEvery     int64
+	ckptDue       bool
+	ckptPending   atomic.Bool
+	ckptLastRound int64
+
 	failOnce sync.Once
 	failErr  error
 

@@ -1,0 +1,72 @@
+// Package crash is the whitebox kill-point registry behind the
+// checkpoint/restore crash tests. Code under test calls Hit(point) at
+// every boundary where dying would leave interestingly-partial on-disk
+// state; in ordinary builds Hit is an empty function the compiler inlines
+// away, and under the crashpoints build tag it counts hits per point and
+// SIGKILLs the process on the armed one — an un-catchable death, exactly
+// what a power cut or OOM kill looks like to the filesystem.
+//
+// Arming is environmental so the harness (cmd/crashtest) can drive an
+// unmodified child binary: CRASHPOINTS=<point>[:n] kills the process on
+// the n-th hit of the named point (default the first). See
+// docs/CHECKPOINT.md and docs/TESTING.md ("Crash testing").
+package crash
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The registered kill points, one per checkpoint publication boundary.
+// Each names the state the filesystem is left in when the process dies
+// there; the recovery contract (docs/CHECKPOINT.md) must hold at all of
+// them.
+const (
+	// PointWriteStart fires before the temporary checkpoint file is
+	// created: dying here leaves the previous checkpoint fully intact.
+	PointWriteStart = "checkpoint-write-start"
+	// PointMidFrame fires halfway through writing the temporary file:
+	// dying here leaves a torn, unmanifested *.tmp next to the previous
+	// checkpoint.
+	PointMidFrame = "checkpoint-mid-frame"
+	// PointPreSync fires after the full temporary file is written but
+	// before fsync: the file content may or may not be durable.
+	PointPreSync = "checkpoint-pre-sync"
+	// PointManifestSwap fires after the checkpoint file is renamed into
+	// place but before the manifest is swapped to point at it: the new
+	// checkpoint exists, complete, but the manifest still names the old
+	// one.
+	PointManifestSwap = "checkpoint-manifest-swap"
+)
+
+// Points returns every registered kill point, in publication order. The
+// crash harness iterates this list so a new point is automatically
+// exercised.
+func Points() []string {
+	return []string{PointWriteStart, PointMidFrame, PointPreSync, PointManifestSwap}
+}
+
+// parseSpec splits a CRASHPOINTS value "<point>[:n]" into the point name
+// and the 1-based hit count to die on. It is untagged so the parsing is
+// unit-testable in ordinary builds.
+func parseSpec(spec string) (point string, n uint64, err error) {
+	point, count, ok := strings.Cut(spec, ":")
+	n = 1
+	if ok {
+		n, err = strconv.ParseUint(count, 10, 32)
+		if err != nil || n == 0 {
+			return "", 0, fmt.Errorf("crash: bad hit count in CRASHPOINTS=%q", spec)
+		}
+	}
+	known := false
+	for _, p := range Points() {
+		if p == point {
+			known = true
+		}
+	}
+	if !known {
+		return "", 0, fmt.Errorf("crash: unknown point in CRASHPOINTS=%q (known: %s)", spec, strings.Join(Points(), ", "))
+	}
+	return point, n, nil
+}

@@ -1,0 +1,10 @@
+//go:build !crashpoints
+
+package crash
+
+// Enabled reports whether this binary was built with the crashpoints tag.
+const Enabled = false
+
+// Hit is a no-op in ordinary builds; the empty body inlines to nothing, so
+// instrumented write paths carry zero cost outside crash tests.
+func Hit(point string) {}

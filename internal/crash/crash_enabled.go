@@ -1,0 +1,52 @@
+//go:build crashpoints
+
+package crash
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"syscall"
+)
+
+// Enabled reports whether this binary was built with the crashpoints tag.
+const Enabled = true
+
+var (
+	armedPoint string
+	armedCount uint64
+	hitMu      sync.Mutex
+	hitCounts  = map[string]uint64{}
+)
+
+func init() {
+	spec := os.Getenv("CRASHPOINTS")
+	if spec == "" {
+		return
+	}
+	point, n, err := parseSpec(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	armedPoint, armedCount = point, n
+}
+
+// Hit records one pass through the named kill point and, if CRASHPOINTS
+// armed this point and this is the armed hit, SIGKILLs the process —
+// delivered by the kernel, not raised in-process, so no defer, recover or
+// exit handler runs: the on-disk state is exactly what the instrumented
+// write path had published so far.
+func Hit(point string) {
+	if armedPoint == "" {
+		return
+	}
+	hitMu.Lock()
+	hitCounts[point]++
+	die := point == armedPoint && hitCounts[point] == armedCount
+	hitMu.Unlock()
+	if die {
+		syscall.Kill(os.Getpid(), syscall.SIGKILL)
+		select {} // SIGKILL delivery is asynchronous; never resume past the point
+	}
+}

@@ -1,0 +1,56 @@
+package crash
+
+import "testing"
+
+// TestParseSpec pins the CRASHPOINTS grammar: bare point names arm hit 1,
+// an explicit :n arms the n-th hit, and unknown points or malformed
+// counts are rejected with an error naming the registry.
+func TestParseSpec(t *testing.T) {
+	for _, p := range Points() {
+		point, n, err := parseSpec(p)
+		if err != nil || point != p || n != 1 {
+			t.Fatalf("parseSpec(%q) = %q, %d, %v", p, point, n, err)
+		}
+		point, n, err = parseSpec(p + ":3")
+		if err != nil || point != p || n != 3 {
+			t.Fatalf("parseSpec(%q:3) = %q, %d, %v", p, point, n, err)
+		}
+	}
+	for _, bad := range []string{"", "nonesuch", PointMidFrame + ":0", PointMidFrame + ":x", PointMidFrame + ":"} {
+		if _, _, err := parseSpec(bad); err == nil {
+			t.Fatalf("parseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+// TestPointsStable pins the registry contents and order: the crash harness
+// and CI smoke iterate Points(), so an accidental rename breaks the
+// recovery matrix silently if this drifts.
+func TestPointsStable(t *testing.T) {
+	want := []string{
+		"checkpoint-write-start",
+		"checkpoint-mid-frame",
+		"checkpoint-pre-sync",
+		"checkpoint-manifest-swap",
+	}
+	got := Points()
+	if len(got) != len(want) {
+		t.Fatalf("Points() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Points()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestHitDisabledIsNoOp: without the crashpoints tag (the default test
+// build) Hit must be callable and inert.
+func TestHitDisabledIsNoOp(t *testing.T) {
+	if Enabled {
+		t.Skip("built with crashpoints")
+	}
+	for _, p := range Points() {
+		Hit(p)
+	}
+}

@@ -1,0 +1,49 @@
+package phold
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/replay"
+)
+
+// StateCodecName is the registered replay state codec for PHOLD state.
+const StateCodecName = "phold-state.v1"
+
+func init() {
+	replay.RegisterStateCodec(stateCodec{})
+}
+
+// stateCodec serialises *State (one processed-event counter) for
+// checkpoints.
+type stateCodec struct{}
+
+func (stateCodec) Name() string { return StateCodecName }
+
+func (stateCodec) EncodeState(dst []byte, state any) ([]byte, error) {
+	st, ok := state.(*State)
+	if !ok {
+		return nil, fmt.Errorf("phold: cannot encode state of type %T", state)
+	}
+	return binary.AppendVarint(dst, st.Processed), nil
+}
+
+func (stateCodec) DecodeState(src []byte, state any) error {
+	st, ok := state.(*State)
+	if !ok {
+		return fmt.Errorf("phold: cannot decode state into type %T", state)
+	}
+	v, n := binary.Varint(src)
+	if n <= 0 {
+		return errors.New("phold: truncated state")
+	}
+	if n != len(src) {
+		return errors.New("phold: trailing bytes in state")
+	}
+	if v < 0 {
+		return errors.New("phold: negative processed count in state")
+	}
+	st.Processed = v
+	return nil
+}

@@ -1,0 +1,117 @@
+package qnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/replay"
+)
+
+// StateCodecName is the registered replay state codec for Station state.
+const StateCodecName = "qnet-state.v1"
+
+func init() {
+	replay.RegisterStateCodec(stateCodec{})
+}
+
+// stateCodec serialises *Station state for checkpoints. The unexported
+// queue window travels too (trace.StateHash renders it): enqueue times as
+// float64 bit patterns, the absolute base that commit-time trimming
+// advances, and the integer-tick accounting fields.
+type stateCodec struct{}
+
+func (stateCodec) Name() string { return StateCodecName }
+
+func (stateCodec) EncodeState(dst []byte, state any) ([]byte, error) {
+	st, ok := state.(*Station)
+	if !ok {
+		return nil, fmt.Errorf("qnet: cannot encode state of type %T", state)
+	}
+	if st.Busy {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(st.queue)))
+	for _, t := range st.queue {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(float64(t)))
+	}
+	dst = binary.AppendVarint(dst, st.qBase)
+	dst = binary.AppendVarint(dst, st.qHead)
+	dst = binary.AppendVarint(dst, st.Arrivals)
+	dst = binary.AppendVarint(dst, st.Departs)
+	dst = binary.AppendVarint(dst, st.WaitTicks)
+	return dst, nil
+}
+
+func (stateCodec) DecodeState(src []byte, state any) error {
+	st, ok := state.(*Station)
+	if !ok {
+		return fmt.Errorf("qnet: cannot decode state into type %T", state)
+	}
+	off := 0
+	varint := func() (int64, error) {
+		v, n := binary.Varint(src[off:])
+		if n <= 0 {
+			return 0, errors.New("qnet: truncated state")
+		}
+		off += n
+		return v, nil
+	}
+	if len(src) < 1 {
+		return errors.New("qnet: truncated state")
+	}
+	if src[0] > 1 {
+		return fmt.Errorf("qnet: bad busy flag %d in state", src[0])
+	}
+	var dec Station
+	dec.Busy = src[0] == 1
+	off = 1
+	qLen, n := binary.Uvarint(src[off:])
+	if n <= 0 {
+		return errors.New("qnet: truncated state")
+	}
+	off += n
+	if qLen > uint64(len(src)-off)/8 {
+		return fmt.Errorf("qnet: queue length %d exceeds state payload", qLen)
+	}
+	if qLen > 0 {
+		dec.queue = make([]core.Time, 0, qLen)
+	}
+	for i := uint64(0); i < qLen; i++ {
+		f := math.Float64frombits(binary.LittleEndian.Uint64(src[off:]))
+		off += 8
+		if math.IsNaN(f) || f < 0 {
+			return errors.New("qnet: invalid enqueue time in state")
+		}
+		dec.queue = append(dec.queue, core.Time(f))
+	}
+	var err error
+	if dec.qBase, err = varint(); err != nil {
+		return err
+	}
+	if dec.qHead, err = varint(); err != nil {
+		return err
+	}
+	if dec.qBase < 0 || dec.qHead < dec.qBase || dec.qHead > dec.qBase+int64(len(dec.queue)) {
+		return fmt.Errorf("qnet: inconsistent queue window base=%d head=%d len=%d",
+			dec.qBase, dec.qHead, len(dec.queue))
+	}
+	if dec.Arrivals, err = varint(); err != nil {
+		return err
+	}
+	if dec.Departs, err = varint(); err != nil {
+		return err
+	}
+	if dec.WaitTicks, err = varint(); err != nil {
+		return err
+	}
+	if off != len(src) {
+		return errors.New("qnet: trailing bytes in state")
+	}
+	*st = dec
+	return nil
+}

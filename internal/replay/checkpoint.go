@@ -1,0 +1,885 @@
+package replay
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/crash"
+	"repro/internal/trace"
+)
+
+// Checkpoint file format (documented in docs/CHECKPOINT.md). A checkpoint
+// serialises one kernel CheckpointState — the committed below-GVT prefix of
+// a run plus the frontier that regenerates the rest — using the same
+// CRC-framed varint conventions as the replay log (wire.go):
+//
+//	frame := type:1 | payloadLen:uvarint | payload | crc32(payload):4 LE
+//
+// The header frame comes first and the end frame last; an optional trace
+// frame (the commit recorder's digests, present when the writer has one)
+// precedes the mandatory lps and frontier frames. DecodeCheckpoint is
+// total: malformed input of any kind yields an error, never a panic or an
+// outsized allocation, and anything accepted is canonical — re-encoding
+// reproduces the accepted bytes (FuzzCheckpointCodec holds it to that).
+//
+// Publication is crash-atomic: the writer streams into a .tmp file, fsyncs,
+// renames it to its final name, fsyncs the directory, and only then swaps
+// the MANIFEST (itself written via the same tmp/rename dance) to point at
+// the new file. A crash anywhere in the sequence leaves the previous
+// MANIFEST naming the previous complete checkpoint; LoadCheckpoint follows
+// the manifest only, so torn or unreferenced files are never loaded. The
+// internal/crash kill points mark exactly these boundaries and the crash
+// harness SIGKILLs a victim at each one.
+
+const (
+	ckptMagic   = "GTWC"
+	ckptVersion = 1
+
+	ckptFrameHeader   byte = 1
+	ckptFrameTrace    byte = 2
+	ckptFrameLPs      byte = 3
+	ckptFrameFrontier byte = 4
+	ckptFrameEnd      byte = 5
+
+	manifestMagic   = "GTWM"
+	manifestVersion = 1
+
+	// ManifestName is the file in a checkpoint directory that names the
+	// current complete checkpoint; its atomic replacement is the publication
+	// point.
+	ManifestName = "MANIFEST"
+)
+
+// ErrNoCheckpoint is returned by LoadCheckpoint when the directory holds no
+// published checkpoint (no manifest). Distinct from corruption errors: "no
+// checkpoint yet" means start from scratch, a corrupt checkpoint means the
+// durability contract broke.
+var ErrNoCheckpoint = errors.New("replay: no checkpoint in directory")
+
+// CheckpointLP is one LP's serialized committed state: the model state
+// bytes (via a StateCodec), the RNG stream position and the send sequence.
+type CheckpointLP struct {
+	State   []byte
+	RNG     [4]uint64
+	Draws   uint64
+	SendSeq uint64
+}
+
+// CheckpointEvent is one serialized frontier event, payload encoded via the
+// model's payload Codec. Src is core.NoLP for bootstrap events.
+type CheckpointEvent struct {
+	T    core.Time
+	Dst  core.LPID
+	Src  core.LPID
+	Seq  uint64
+	Data []byte
+}
+
+// Checkpoint is one decoded checkpoint: everything a fresh build of the
+// same Spec needs to continue the run from GVT, plus (when HasTrace) the
+// commit recorder's digests at the cut so the resumed trace can be verified
+// as an exact continuation. Frontier is sorted by the kernel's total event
+// order, strictly increasing.
+type Checkpoint struct {
+	// StateCodec and Codec name the registered codecs that serialized LP
+	// states and frontier payloads.
+	StateCodec string
+	Codec      string
+	GVT        core.Time
+	// Committed is the number of events the checkpointed run had committed —
+	// exactly the events below GVT.
+	Committed int64
+	NumLPs    int
+	// HasTrace marks checkpoints taken with a commit recorder attached:
+	// TraceLen/TraceHash/LPHashes are that recorder's digests of the
+	// committed prefix, used to seed the resumed run's recorder.
+	HasTrace  bool
+	TraceLen  int
+	TraceHash uint64
+	LPHashes  []uint64
+	LPs       []CheckpointLP
+	Frontier  []CheckpointEvent
+}
+
+// ---- encoding ----
+
+func appendCkptHeader(dst []byte, cp *Checkpoint) []byte {
+	p := []byte(ckptMagic)
+	p = binary.AppendUvarint(p, ckptVersion)
+	p = appendString(p, cp.StateCodec)
+	p = appendString(p, cp.Codec)
+	p = binary.LittleEndian.AppendUint64(p, math.Float64bits(float64(cp.GVT)))
+	p = binary.AppendUvarint(p, uint64(cp.Committed))
+	p = binary.AppendUvarint(p, uint64(cp.NumLPs))
+	return appendFrame(dst, ckptFrameHeader, p)
+}
+
+func appendCkptTrace(dst []byte, cp *Checkpoint) []byte {
+	p := binary.AppendUvarint(nil, uint64(cp.TraceLen))
+	p = binary.LittleEndian.AppendUint64(p, cp.TraceHash)
+	p = binary.AppendUvarint(p, uint64(len(cp.LPHashes)))
+	for _, h := range cp.LPHashes {
+		p = binary.LittleEndian.AppendUint64(p, h)
+	}
+	return appendFrame(dst, ckptFrameTrace, p)
+}
+
+func appendCkptLPs(dst []byte, cp *Checkpoint) []byte {
+	p := binary.AppendUvarint(nil, uint64(len(cp.LPs)))
+	for _, lp := range cp.LPs {
+		p = binary.AppendUvarint(p, uint64(len(lp.State)))
+		p = append(p, lp.State...)
+		for _, s := range lp.RNG {
+			p = binary.AppendUvarint(p, s)
+		}
+		p = binary.AppendUvarint(p, lp.Draws)
+		p = binary.AppendUvarint(p, lp.SendSeq)
+	}
+	return appendFrame(dst, ckptFrameLPs, p)
+}
+
+func appendCkptFrontier(dst []byte, cp *Checkpoint) []byte {
+	p := binary.AppendUvarint(nil, uint64(len(cp.Frontier)))
+	var prevBits uint64
+	var prevDst int64
+	for _, ev := range cp.Frontier {
+		bits := math.Float64bits(float64(ev.T))
+		p = binary.AppendVarint(p, int64(bits-prevBits))
+		prevBits = bits
+		p = binary.AppendVarint(p, int64(ev.Dst)-prevDst)
+		prevDst = int64(ev.Dst)
+		p = binary.AppendVarint(p, int64(ev.Src))
+		p = binary.AppendUvarint(p, ev.Seq)
+		p = binary.AppendUvarint(p, uint64(len(ev.Data)))
+		p = append(p, ev.Data...)
+	}
+	return appendFrame(dst, ckptFrameFrontier, p)
+}
+
+// EncodeCheckpoint serialises a checkpoint into the framed binary format.
+func EncodeCheckpoint(cp *Checkpoint) []byte {
+	dst := appendCkptHeader(nil, cp)
+	if cp.HasTrace {
+		dst = appendCkptTrace(dst, cp)
+	}
+	dst = appendCkptLPs(dst, cp)
+	dst = appendCkptFrontier(dst, cp)
+	return appendFrame(dst, ckptFrameEnd, nil)
+}
+
+// ---- decoding ----
+
+func (c *cursor) u32() (uint32, error) {
+	if c.remaining() < 4 {
+		return 0, errTruncated
+	}
+	v := binary.LittleEndian.Uint32(c.buf[c.off:])
+	c.off += 4
+	return v, nil
+}
+
+func decodeCkptHeader(p []byte) (*Checkpoint, error) {
+	c := &cursor{buf: p}
+	cp := &Checkpoint{}
+	m, err := c.bytes(uint64(len(ckptMagic)))
+	if err != nil {
+		return nil, err
+	}
+	if string(m) != ckptMagic {
+		return nil, errors.New("replay: bad magic (not a checkpoint)")
+	}
+	ver, err := c.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if ver != ckptVersion {
+		return nil, fmt.Errorf("replay: unsupported checkpoint version %d (want %d)", ver, ckptVersion)
+	}
+	if cp.StateCodec, err = c.str(); err != nil {
+		return nil, err
+	}
+	if cp.Codec, err = c.str(); err != nil {
+		return nil, err
+	}
+	bits, err := c.u64()
+	if err != nil {
+		return nil, err
+	}
+	if cp.GVT, err = timeFromBits(bits); err != nil {
+		return nil, err
+	}
+	if cp.GVT < 0 {
+		return nil, errors.New("replay: checkpoint GVT is negative")
+	}
+	committed, err := c.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if committed > math.MaxInt64 {
+		return nil, errors.New("replay: committed count out of range")
+	}
+	cp.Committed = int64(committed)
+	if cp.NumLPs, err = c.intField(); err != nil {
+		return nil, err
+	}
+	if c.remaining() != 0 {
+		return nil, errors.New("replay: trailing bytes in checkpoint header frame")
+	}
+	return cp, nil
+}
+
+func decodeCkptTrace(p []byte, cp *Checkpoint) error {
+	c := &cursor{buf: p}
+	var err error
+	if cp.TraceLen, err = c.intField(); err != nil {
+		return err
+	}
+	if cp.TraceHash, err = c.u64(); err != nil {
+		return err
+	}
+	n, err := c.count(8)
+	if err != nil {
+		return err
+	}
+	if n != cp.NumLPs {
+		return fmt.Errorf("replay: trace frame has %d LP hashes, checkpoint has %d LPs", n, cp.NumLPs)
+	}
+	cp.LPHashes = make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		h, err := c.u64()
+		if err != nil {
+			return err
+		}
+		cp.LPHashes = append(cp.LPHashes, h)
+	}
+	if c.remaining() != 0 {
+		return errors.New("replay: trailing bytes in checkpoint trace frame")
+	}
+	cp.HasTrace = true
+	return nil
+}
+
+func decodeCkptLPs(p []byte, cp *Checkpoint) error {
+	c := &cursor{buf: p}
+	// state len + 4 rng components + draws + sendSeq ≥ 7 bytes per LP.
+	n, err := c.count(7)
+	if err != nil {
+		return err
+	}
+	if n != cp.NumLPs {
+		return fmt.Errorf("replay: lps frame has %d LPs, checkpoint header says %d", n, cp.NumLPs)
+	}
+	cp.LPs = make([]CheckpointLP, 0, n)
+	for i := 0; i < n; i++ {
+		var lp CheckpointLP
+		sz, err := c.uvarint()
+		if err != nil {
+			return err
+		}
+		b, err := c.bytes(sz)
+		if err != nil {
+			return err
+		}
+		if len(b) > 0 {
+			lp.State = append([]byte(nil), b...)
+		}
+		for j := range lp.RNG {
+			if lp.RNG[j], err = c.uvarint(); err != nil {
+				return err
+			}
+		}
+		if lp.Draws, err = c.uvarint(); err != nil {
+			return err
+		}
+		if lp.SendSeq, err = c.uvarint(); err != nil {
+			return err
+		}
+		cp.LPs = append(cp.LPs, lp)
+	}
+	if c.remaining() != 0 {
+		return errors.New("replay: trailing bytes in checkpoint lps frame")
+	}
+	return nil
+}
+
+func decodeCkptFrontier(p []byte, cp *Checkpoint) error {
+	c := &cursor{buf: p}
+	// time delta + dst delta + src + seq + payload len ≥ 5 bytes per event.
+	n, err := c.count(5)
+	if err != nil {
+		return err
+	}
+	if n > 0 {
+		cp.Frontier = make([]CheckpointEvent, 0, n)
+	}
+	var prevBits uint64
+	var prevDst int64
+	for i := 0; i < n; i++ {
+		var ev CheckpointEvent
+		d, err := c.varint()
+		if err != nil {
+			return err
+		}
+		prevBits += uint64(d)
+		if ev.T, err = timeFromBits(prevBits); err != nil {
+			return err
+		}
+		if ev.T < cp.GVT {
+			return fmt.Errorf("replay: frontier event %d at %v is below checkpoint GVT %v", i, ev.T, cp.GVT)
+		}
+		dd, err := c.varint()
+		if err != nil {
+			return err
+		}
+		prevDst += dd
+		if prevDst < 0 || prevDst >= int64(cp.NumLPs) {
+			return fmt.Errorf("replay: frontier event %d targets LP %d, checkpoint has %d", i, prevDst, cp.NumLPs)
+		}
+		ev.Dst = core.LPID(prevDst)
+		src, err := c.varint()
+		if err != nil {
+			return err
+		}
+		if src < int64(core.NoLP) || src >= int64(cp.NumLPs) {
+			return fmt.Errorf("replay: frontier event %d has source LP %d out of range", i, src)
+		}
+		ev.Src = core.LPID(src)
+		if ev.Seq, err = c.uvarint(); err != nil {
+			return err
+		}
+		sz, err := c.uvarint()
+		if err != nil {
+			return err
+		}
+		b, err := c.bytes(sz)
+		if err != nil {
+			return err
+		}
+		if len(b) > 0 {
+			ev.Data = append([]byte(nil), b...)
+		}
+		if i > 0 {
+			if prev := cp.Frontier[i-1]; !beforeCkptEvent(prev, ev) {
+				return fmt.Errorf("replay: frontier events %d and %d out of order", i-1, i)
+			}
+		}
+		cp.Frontier = append(cp.Frontier, ev)
+	}
+	if c.remaining() != 0 {
+		return errors.New("replay: trailing bytes in checkpoint frontier frame")
+	}
+	return nil
+}
+
+// beforeCkptEvent is the kernel's total event order on serialized frontier
+// events; the frontier must be strictly increasing under it.
+func beforeCkptEvent(a, b CheckpointEvent) bool {
+	if a.T != b.T {
+		return a.T < b.T
+	}
+	if a.Dst != b.Dst {
+		return a.Dst < b.Dst
+	}
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	return a.Seq < b.Seq
+}
+
+// DecodeCheckpoint parses a framed checkpoint. It never panics: any
+// malformed input returns an error.
+func DecodeCheckpoint(buf []byte) (*Checkpoint, error) {
+	c := &cursor{buf: buf}
+	frame := func() (byte, []byte, error) {
+		typ, err := c.byte()
+		if err != nil {
+			return 0, nil, err
+		}
+		sz, err := c.uvarint()
+		if err != nil {
+			return 0, nil, err
+		}
+		if sz > uint64(c.remaining()) {
+			return 0, nil, errTruncated
+		}
+		payload, err := c.bytes(sz)
+		if err != nil {
+			return 0, nil, err
+		}
+		want, err := c.bytes(4)
+		if err != nil {
+			return 0, nil, err
+		}
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(want) {
+			return 0, nil, fmt.Errorf("replay: CRC mismatch in checkpoint frame type %d", typ)
+		}
+		return typ, payload, nil
+	}
+
+	typ, payload, err := frame()
+	if err != nil {
+		return nil, err
+	}
+	if typ != ckptFrameHeader {
+		return nil, errors.New("replay: checkpoint does not start with a header frame")
+	}
+	cp, err := decodeCkptHeader(payload)
+	if err != nil {
+		return nil, err
+	}
+	if typ, payload, err = frame(); err != nil {
+		return nil, err
+	}
+	if typ == ckptFrameTrace {
+		if err := decodeCkptTrace(payload, cp); err != nil {
+			return nil, err
+		}
+		if typ, payload, err = frame(); err != nil {
+			return nil, err
+		}
+	}
+	if typ != ckptFrameLPs {
+		return nil, fmt.Errorf("replay: expected lps frame, got type %d", typ)
+	}
+	if err := decodeCkptLPs(payload, cp); err != nil {
+		return nil, err
+	}
+	if typ, payload, err = frame(); err != nil {
+		return nil, err
+	}
+	if typ != ckptFrameFrontier {
+		return nil, fmt.Errorf("replay: expected frontier frame, got type %d", typ)
+	}
+	if err := decodeCkptFrontier(payload, cp); err != nil {
+		return nil, err
+	}
+	if typ, payload, err = frame(); err != nil {
+		return nil, err
+	}
+	if typ != ckptFrameEnd || len(payload) != 0 {
+		return nil, errors.New("replay: bad checkpoint end frame")
+	}
+	if c.remaining() != 0 {
+		return nil, errors.New("replay: trailing bytes after checkpoint end frame")
+	}
+	return cp, nil
+}
+
+// ---- manifest ----
+
+// EncodeManifest serialises a manifest naming the current checkpoint file
+// and the CRC of its entire contents. The manifest is itself CRC-trailed,
+// so a torn manifest write is detectable (though the tmp/rename publication
+// should make one impossible).
+func EncodeManifest(file string, sum uint32) []byte {
+	p := []byte(manifestMagic)
+	p = binary.AppendUvarint(p, manifestVersion)
+	p = appendString(p, file)
+	p = binary.LittleEndian.AppendUint32(p, sum)
+	return binary.LittleEndian.AppendUint32(p, crc32.ChecksumIEEE(p))
+}
+
+type manifest struct {
+	file string
+	sum  uint32
+}
+
+func decodeManifest(buf []byte) (manifest, error) {
+	var m manifest
+	if len(buf) < 4 {
+		return m, errTruncated
+	}
+	p, tail := buf[:len(buf)-4], buf[len(buf)-4:]
+	if crc32.ChecksumIEEE(p) != binary.LittleEndian.Uint32(tail) {
+		return m, errors.New("replay: manifest CRC mismatch")
+	}
+	c := &cursor{buf: p}
+	mg, err := c.bytes(uint64(len(manifestMagic)))
+	if err != nil {
+		return m, err
+	}
+	if string(mg) != manifestMagic {
+		return m, errors.New("replay: bad manifest magic")
+	}
+	ver, err := c.uvarint()
+	if err != nil {
+		return m, err
+	}
+	if ver != manifestVersion {
+		return m, fmt.Errorf("replay: unsupported manifest version %d", ver)
+	}
+	if m.file, err = c.str(); err != nil {
+		return m, err
+	}
+	// The filename must stay inside the checkpoint directory: manifests come
+	// from disk and must not be able to point a loader at an arbitrary path.
+	if m.file == "" || m.file == "." || m.file == ".." || m.file != filepath.Base(m.file) {
+		return m, fmt.Errorf("replay: manifest names invalid file %q", m.file)
+	}
+	if m.sum, err = c.u32(); err != nil {
+		return m, err
+	}
+	if c.remaining() != 0 {
+		return m, errors.New("replay: trailing bytes in manifest")
+	}
+	return m, nil
+}
+
+// ---- writer ----
+
+// CheckpointWriter is a core.CheckpointSink that serialises each checkpoint
+// the kernel hands it and publishes it crash-atomically into a directory.
+// Only the manifest-named file is ever considered published; at most one
+// previous checkpoint file is kept until the next publication completes.
+type CheckpointWriter struct {
+	dir        string
+	stateCodec StateCodec
+	codec      Codec
+	rec        *trace.Recorder
+	seq        int
+	lastFile   string
+}
+
+// NewCheckpointWriter builds a writer over dir (created if needed). rec,
+// when non-nil, must be the run's unbounded commit recorder: each
+// checkpoint then carries the recorder's digests at the cut, which is what
+// lets a resumed run's trace be verified as an exact continuation. Stale
+// .tmp debris from a previously killed writer is removed; existing
+// published checkpoints are left alone (file numbering continues past
+// them), so resuming and re-checkpointing into the same directory works.
+func NewCheckpointWriter(dir, stateCodecName, codecName string, rec *trace.Recorder) (*CheckpointWriter, error) {
+	sc, err := StateCodecFor(stateCodecName)
+	if err != nil {
+		return nil, err
+	}
+	pc, err := CodecFor(codecName)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	w := &CheckpointWriter{dir: dir, stateCodec: sc, codec: pc, rec: rec, seq: 1}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			// Publication is rename-based, so a .tmp file is never the live
+			// checkpoint — only debris from a killed writer.
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		var n int
+		if _, err := fmt.Sscanf(name, "checkpoint-%d.ckpt", &n); err == nil && n >= w.seq {
+			w.seq = n + 1
+		}
+	}
+	if mb, err := os.ReadFile(filepath.Join(dir, ManifestName)); err == nil {
+		if m, err := decodeManifest(mb); err == nil {
+			w.lastFile = m.file
+		}
+	}
+	return w, nil
+}
+
+// Checkpoint implements core.CheckpointSink: serialise the kernel's state
+// through the model codecs and publish it. Runs on PE 0 while the machine
+// is quiescent, so reading the trace recorder here sees exactly the
+// committed below-GVT prefix.
+func (w *CheckpointWriter) Checkpoint(cs *core.CheckpointState) error {
+	cp := &Checkpoint{
+		StateCodec: w.stateCodec.Name(),
+		Codec:      w.codec.Name(),
+		GVT:        cs.GVT,
+		Committed:  cs.Committed,
+		NumLPs:     len(cs.LPs),
+	}
+	if w.rec != nil {
+		cp.HasTrace = true
+		cp.TraceLen = w.rec.Len()
+		cp.TraceHash = w.rec.Hash()
+		cp.LPHashes = w.rec.LPHashes(len(cs.LPs))
+	}
+	cp.LPs = make([]CheckpointLP, len(cs.LPs))
+	for i, lp := range cs.LPs {
+		b, err := w.stateCodec.EncodeState(nil, lp.State)
+		if err != nil {
+			return fmt.Errorf("replay: encoding LP %d state: %w", i, err)
+		}
+		cp.LPs[i] = CheckpointLP{State: b, RNG: lp.RNG, Draws: lp.RNGDraws, SendSeq: lp.SendSeq}
+	}
+	cp.Frontier = make([]CheckpointEvent, len(cs.Frontier))
+	for i, ev := range cs.Frontier {
+		b, err := w.codec.Encode(nil, ev.Data)
+		if err != nil {
+			return fmt.Errorf("replay: encoding frontier payload for LP %d: %w", ev.Dst, err)
+		}
+		cp.Frontier[i] = CheckpointEvent{T: ev.T, Dst: ev.Dst, Src: ev.Src, Seq: ev.Seq, Data: b}
+	}
+	return w.publish(EncodeCheckpoint(cp))
+}
+
+// publish writes data crash-atomically: tmp file → fsync → rename → dir
+// fsync → manifest via the same dance → delete the superseded file. The
+// crash kill points bracket each durability step; a SIGKILL at any of them
+// must leave the directory loading to the previous complete checkpoint
+// (or ErrNoCheckpoint before the first), which is exactly what the crash
+// harness verifies.
+func (w *CheckpointWriter) publish(data []byte) error {
+	crash.Hit(crash.PointWriteStart)
+	name := fmt.Sprintf("checkpoint-%06d.ckpt", w.seq)
+	w.seq++
+	path := filepath.Join(w.dir, name)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	half := len(data) / 2
+	if _, err := f.Write(data[:half]); err != nil {
+		f.Close()
+		return err
+	}
+	crash.Hit(crash.PointMidFrame)
+	if _, err := f.Write(data[half:]); err != nil {
+		f.Close()
+		return err
+	}
+	crash.Hit(crash.PointPreSync)
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	if err := syncDir(w.dir); err != nil {
+		return err
+	}
+	crash.Hit(crash.PointManifestSwap)
+	mpath := filepath.Join(w.dir, ManifestName)
+	mtmp := mpath + ".tmp"
+	mf, err := os.OpenFile(mtmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := mf.Write(EncodeManifest(name, crc32.ChecksumIEEE(data))); err != nil {
+		mf.Close()
+		return err
+	}
+	if err := mf.Sync(); err != nil {
+		mf.Close()
+		return err
+	}
+	if err := mf.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(mtmp, mpath); err != nil {
+		return err
+	}
+	if err := syncDir(w.dir); err != nil {
+		return err
+	}
+	if w.lastFile != "" && w.lastFile != name {
+		os.Remove(filepath.Join(w.dir, w.lastFile)) // best-effort cleanup
+	}
+	w.lastFile = name
+	return nil
+}
+
+// syncDir fsyncs a directory, making a just-renamed entry durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// LoadCheckpoint loads the published checkpoint from dir: the manifest
+// names the file, the manifest's CRC must match the file's contents, and
+// the file must decode. ErrNoCheckpoint means no checkpoint was ever
+// published; any other error means the directory is corrupt.
+func LoadCheckpoint(dir string) (*Checkpoint, error) {
+	mb, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, ErrNoCheckpoint
+	}
+	if err != nil {
+		return nil, err
+	}
+	m, err := decodeManifest(mb)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(dir, m.file))
+	if err != nil {
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(data) != m.sum {
+		return nil, fmt.Errorf("replay: checkpoint %s does not match manifest checksum", m.file)
+	}
+	return DecodeCheckpoint(data)
+}
+
+// ---- restore ----
+
+// Resumable is the engine surface a checkpoint restore needs;
+// *core.Simulator implements it. The sequential engine does not — resume
+// is an optimistic-kernel feature (the sequential oracle re-runs from
+// scratch instead, which is what makes it an oracle).
+type Resumable interface {
+	core.Host
+	DropBootstrap()
+	RestoreLP(id core.LPID, state [4]uint64, draws, sendSeq uint64) error
+	ScheduleRestored(dst core.LPID, t core.Time, src core.LPID, seq uint64, data any)
+}
+
+// Checkpointable is the engine surface periodic checkpointing needs;
+// *core.Simulator implements it.
+type Checkpointable interface {
+	SetCheckpoint(sink core.CheckpointSink, everyRounds int)
+}
+
+// RestoreCheckpoint reinstates cp into a freshly built, not-yet-run
+// simulator: model bootstrap is dropped, every LP's state (decoded in
+// place through the checkpoint's StateCodec), RNG stream and send sequence
+// are reinstated, and the frontier is scheduled with original event
+// identities so the kernel's total order continues exactly where the
+// checkpointed run left it. rec, when non-nil, is the new run's empty
+// commit recorder, seeded with the checkpoint's trace digests (an error if
+// the checkpoint carries none).
+func RestoreCheckpoint(cp *Checkpoint, sim Resumable, rec *trace.Recorder) error {
+	if sim.NumLPs() != cp.NumLPs {
+		return fmt.Errorf("replay: checkpoint has %d LPs, model has %d", cp.NumLPs, sim.NumLPs())
+	}
+	sc, err := StateCodecFor(cp.StateCodec)
+	if err != nil {
+		return err
+	}
+	codec, err := CodecFor(cp.Codec)
+	if err != nil {
+		return err
+	}
+	sim.DropBootstrap()
+	for i, clp := range cp.LPs {
+		lp := sim.LP(core.LPID(i))
+		if err := sc.DecodeState(clp.State, lp.State); err != nil {
+			return fmt.Errorf("replay: decoding LP %d state: %w", i, err)
+		}
+		if err := sim.RestoreLP(core.LPID(i), clp.RNG, clp.Draws, clp.SendSeq); err != nil {
+			return fmt.Errorf("replay: restoring LP %d: %w", i, err)
+		}
+	}
+	for i, ev := range cp.Frontier {
+		data, err := codec.Decode(ev.Data)
+		if err != nil {
+			return fmt.Errorf("replay: decoding frontier event %d: %w", i, err)
+		}
+		sim.ScheduleRestored(ev.Dst, ev.T, ev.Src, ev.Seq, data)
+	}
+	if rec != nil {
+		if !cp.HasTrace {
+			return errors.New("replay: checkpoint carries no trace digests to seed the recorder")
+		}
+		rec.SeedPrefix(cp.TraceLen, cp.TraceHash, cp.LPHashes)
+	}
+	return nil
+}
+
+// ---- drivers ----
+
+// ReplayCheckpointed is Replay under the optimistic engine with periodic
+// checkpointing armed: every `every` GVT rounds a checkpoint is published
+// into dir, and the run is still held to the recording's fingerprints (the
+// checkpoint rendezvous is scheduling-only, so arming it must not change
+// committed results). This is the victim the crash harness SIGKILLs.
+func ReplayCheckpointed(r Runner, lg *Log, dir, stateCodecName string, every int) ([]string, error) {
+	out, err := runWith(r, lg.Spec, lg.Inject, EngineOptimistic, func(inst *Instance) error {
+		ck, ok := inst.Host.(Checkpointable)
+		if !ok {
+			return fmt.Errorf("replay: %T does not support checkpointing", inst.Host)
+		}
+		w, err := NewCheckpointWriter(dir, stateCodecName, lg.Spec.Codec, inst.Trace)
+		if err != nil {
+			return err
+		}
+		ck.SetCheckpoint(w, every)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return compareToLog(lg, out), nil
+}
+
+// ResumeVerify loads dir's published checkpoint, resumes the run it came
+// from on a fresh build of lg's Spec, and holds the completed run to the
+// recording: the final fingerprint must match bit-for-bit (committed count
+// composed across the cut, trace hash folded from the seeded prefix), and
+// every recorded GVT-round horizon at or beyond the checkpoint's GVT must
+// reproduce its trace prefix hash. Horizons below the cut are skipped —
+// the resumed recorder cannot split the prefix it never observed.
+func ResumeVerify(r Runner, lg *Log, dir string) ([]string, error) {
+	cp, err := LoadCheckpoint(dir)
+	if err != nil {
+		return nil, err
+	}
+	if cp.Codec != lg.Spec.Codec {
+		return nil, fmt.Errorf("replay: checkpoint codec %q does not match log codec %q", cp.Codec, lg.Spec.Codec)
+	}
+	if !cp.HasTrace {
+		return nil, errors.New("replay: checkpoint carries no trace digests; cannot verify against a recording")
+	}
+	inst, err := r.Build(lg.Spec, EngineOptimistic, false)
+	if err != nil {
+		return nil, err
+	}
+	if inst.Trace == nil {
+		return nil, errors.New("replay: runner instance has no trace recorder")
+	}
+	rsm, ok := inst.Host.(Resumable)
+	if !ok {
+		return nil, fmt.Errorf("replay: %T does not support resume", inst.Host)
+	}
+	if err := RestoreCheckpoint(cp, rsm, inst.Trace); err != nil {
+		return nil, err
+	}
+	stats, err := inst.Run()
+	if err != nil {
+		return nil, err
+	}
+	fp := Fingerprint{
+		Committed: cp.Committed + stats.Committed,
+		TraceLen:  inst.Trace.Len(),
+		TraceHash: inst.Trace.Hash(),
+		StateHash: trace.StateHash(inst.Host),
+	}
+	out := &outcome{Trace: inst.Trace, Final: fp}
+	flg := *lg
+	flg.Rounds = nil
+	for _, rd := range lg.Rounds {
+		if rd.GVT >= cp.GVT {
+			flg.Rounds = append(flg.Rounds, rd)
+		}
+	}
+	return compareToLog(&flg, out), nil
+}

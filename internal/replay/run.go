@@ -118,6 +118,14 @@ type outcome struct {
 // run builds spec without model bootstrap, schedules the injections, runs,
 // and fingerprints the result.
 func run(r Runner, spec Spec, inj []Injection, eng Engine) (*outcome, error) {
+	return runWith(r, spec, inj, eng, nil)
+}
+
+// runWith is run with a pre-run hook: setup, when non-nil, sees the built
+// instance after injections are scheduled and the record sink is attached,
+// immediately before Run — the seam the checkpointing driver uses to arm
+// its writer.
+func runWith(r Runner, spec Spec, inj []Injection, eng Engine, setup func(*Instance) error) (*outcome, error) {
 	inst, err := r.Build(spec, eng, false)
 	if err != nil {
 		return nil, err
@@ -151,6 +159,11 @@ func run(r Runner, spec Spec, inj []Injection, eng Engine) (*outcome, error) {
 	if eng == EngineOptimistic && inst.SetRecord != nil {
 		rec = NewRecorder(inst.NumPEs)
 		inst.SetRecord(rec)
+	}
+	if setup != nil {
+		if err := setup(inst); err != nil {
+			return nil, err
+		}
 	}
 	stats, err := inst.Run()
 	if err != nil {

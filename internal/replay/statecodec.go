@@ -1,0 +1,68 @@
+package replay
+
+import (
+	"fmt"
+	"sort"
+)
+
+// StateCodec serialises one model's LP state into a checkpoint and back.
+// Where Codec handles the event payloads a model schedules, StateCodec
+// handles the state object each LP carries between events; a checkpoint
+// needs both (frontier payloads go through the Codec, LP states through
+// this). DecodeState restores into the live state object in place — the
+// kernel hands out LP state by reference, so replacing the object would
+// orphan the handler's view of it.
+//
+// EncodeState and DecodeState must be exact inverses over every field that
+// trace.StateHash observes (it renders the whole struct, unexported fields
+// included): a decoded state must hash identically to the encoded one, or
+// resumed-run fingerprints can never match. Scratch fields that are always
+// zero at a GVT commit point (reverse-computation save areas) may be
+// omitted. DecodeState gets attacker-grade input (checkpoints come from
+// disk) and must return an error, never panic, on malformed bytes.
+type StateCodec interface {
+	// Name is the registry key recorded in a checkpoint's header.
+	Name() string
+	// EncodeState appends state's serialization to dst and returns the
+	// extended slice.
+	EncodeState(dst []byte, state any) ([]byte, error)
+	// DecodeState parses one EncodeState output into state, in place. The
+	// input is exactly one EncodeState output (framing is the checkpoint's
+	// concern).
+	DecodeState(src []byte, state any) error
+}
+
+// stateCodecs is the global registry. Writes happen only from package init
+// functions (models register themselves on import), reads only afterwards,
+// so no locking is needed.
+var stateCodecs = map[string]StateCodec{}
+
+// RegisterStateCodec adds a state codec to the registry; it panics on a
+// duplicate name. Call it from the model package's init so importing the
+// model makes its checkpoints restorable.
+func RegisterStateCodec(c StateCodec) {
+	name := c.Name()
+	if _, dup := stateCodecs[name]; dup {
+		panic(fmt.Sprintf("replay: state codec %q registered twice", name))
+	}
+	stateCodecs[name] = c
+}
+
+// StateCodecFor looks up a registered state codec by name.
+func StateCodecFor(name string) (StateCodec, error) {
+	c, ok := stateCodecs[name]
+	if !ok {
+		return nil, fmt.Errorf("replay: no state codec %q registered (have %v)", name, StateCodecNames())
+	}
+	return c, nil
+}
+
+// StateCodecNames returns the registered state codec names, sorted.
+func StateCodecNames() []string {
+	names := make([]string, 0, len(stateCodecs))
+	for name := range stateCodecs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,51 @@
+package rng
+
+import "testing"
+
+// TestRestoreRoundTrip proves Restore reproduces a captured stream exactly:
+// the restored stream emits the same sequence the original would have.
+func TestRestoreRoundTrip(t *testing.T) {
+	src := NewStream(3)
+	for i := 0; i < 100; i++ {
+		src.Uniform()
+	}
+	state, draws := src.State(), src.Draws()
+
+	var want [32]float64
+	for i := range want {
+		want[i] = src.Uniform()
+	}
+
+	dst := NewStream(99) // deliberately different starting point
+	if err := dst.Restore(state, draws); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if dst.Draws() != draws {
+		t.Fatalf("Draws after restore = %d, want %d", dst.Draws(), draws)
+	}
+	for i := range want {
+		if got := dst.Uniform(); got != want[i] {
+			t.Fatalf("draw %d after restore = %v, want %v", i, got, want[i])
+		}
+	}
+}
+
+// TestRestoreRejectsBadState proves the range validation: zero components
+// and components at or above the modulus must be rejected, leaving the
+// stream untouched.
+func TestRestoreRejectsBadState(t *testing.T) {
+	for i := 0; i < 4; i++ {
+		for _, bad := range []uint64{0, clcg4M[i], clcg4M[i] + 17} {
+			st := NewStream(1)
+			before := st.State()
+			s := [4]uint64{1, 1, 1, 1}
+			s[i] = bad
+			if err := st.Restore(s, 5); err == nil {
+				t.Fatalf("Restore accepted component %d = %d", i, bad)
+			}
+			if st.State() != before || st.Draws() != 0 {
+				t.Fatalf("failed Restore mutated the stream")
+			}
+		}
+	}
+}

@@ -15,7 +15,10 @@
 // randomness by counting its draws and calling Reverse with that count.
 package rng
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Component moduli and multipliers of the combined generator.
 var clcg4M = [4]uint64{2147483647, 2147483543, 2147483423, 2147483323}
@@ -153,6 +156,22 @@ func (st *Stream) Exponential(mean float64) float64 {
 
 // Bool returns true with probability p, consuming one draw.
 func (st *Stream) Bool(p float64) bool { return st.step() < p }
+
+// Restore sets the stream to a previously captured (State, Draws) pair, as
+// used by checkpoint resume. Each component state must lie in [1, m_i-1] —
+// 0 is an absorbing state the generator can never reach, and anything at or
+// above the modulus is not a residue at all — so a corrupted checkpoint is
+// rejected here rather than silently degrading the stream.
+func (st *Stream) Restore(state [4]uint64, draws uint64) error {
+	for i, s := range state {
+		if s == 0 || s >= clcg4M[i] {
+			return fmt.Errorf("rng: component %d state %d outside [1, %d]", i, s, clcg4M[i]-1)
+		}
+	}
+	st.s = state
+	st.draws = draws
+	return nil
+}
 
 // Reverse undoes the last n draws exactly. After Reverse(n) the stream
 // produces the same sequence it produced after the corresponding earlier

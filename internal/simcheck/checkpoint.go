@@ -1,0 +1,112 @@
+package simcheck
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hotpotato"
+	"repro/internal/phold"
+	"repro/internal/qnet"
+	"repro/internal/replay"
+	"repro/internal/trace"
+)
+
+// stateCodecNames maps each harness model to its registered replay state
+// codec, mirroring codecNames for event payloads. A model missing here
+// cannot checkpoint (its LP state has no serialisation).
+var stateCodecNames = map[string]string{
+	"hotpotato": hotpotato.StateCodecName,
+	"phold":     phold.StateCodecName,
+	"qnet":      qnet.StateCodecName,
+}
+
+// StateCodecName returns the registered replay state codec for a harness
+// model, or "" if the model is unknown. The crash harness and the CLIs use
+// it to arm checkpoint writers without hard-coding the model→codec mapping.
+func StateCodecName(model string) string { return stateCodecNames[model] }
+
+// CheckpointEvery is the default checkpoint cadence in GVT rounds for
+// harness-driven runs. The rendezvous rolls every KP back to GVT, so the
+// cadence must leave room for real progress between cuts: checkpointing
+// every round discards almost all optimistic work each time and the run
+// crawls. The harness cells complete in a few hundred GVT rounds, so this
+// cadence publishes a handful of checkpoints per run.
+const CheckpointEvery = 32
+
+// RunCellResumed runs an optimistic cell across a checkpoint/restore cut:
+// phase one runs the cell to completion with a checkpoint published into
+// dir every `every` GVT rounds (CheckpointEvery if every <= 0); phase two
+// builds the cell again from scratch, restores the last published
+// checkpoint and runs only the tail. The returned Result carries the
+// composed fingerprint (committed count summed across the cut, trace
+// hashes folded from the checkpoint's seeded prefix) and phase two's
+// kernel stats — so Stats.Committed < FP.Committed proves the run
+// genuinely resumed mid-stream rather than re-running everything.
+//
+// The composed fingerprint must equal a clean sequential reference run's:
+// that is the crash-recovery claim in miniature, and the soak harness holds
+// 1-in-N episodes to it.
+func RunCellResumed(c Cell, dir string, every int) (Result, error) {
+	if c.Engine != EngOptimistic {
+		return Result{}, fmt.Errorf("simcheck: resume requires the optimistic engine, not %q", c.Engine)
+	}
+	if every <= 0 {
+		every = CheckpointEvery
+	}
+	spec, ok := models[c.Model]
+	if !ok {
+		return Result{}, fmt.Errorf("simcheck: unknown model %q (have %v)", c.Model, ModelNames())
+	}
+	// Phase one: an ordinary optimistic run, checkpointing every GVT round.
+	inst, err := spec.build(c, 0)
+	if err != nil {
+		return Result{}, err
+	}
+	sim, ok := inst.host.(*core.Simulator)
+	if !ok {
+		return Result{}, fmt.Errorf("simcheck: %T cannot checkpoint", inst.host)
+	}
+	w, err := replay.NewCheckpointWriter(dir, stateCodecNames[c.Model], codecNames[c.Model], inst.rec)
+	if err != nil {
+		return Result{}, err
+	}
+	sim.SetCheckpoint(w, every)
+	if _, err := inst.run(); err != nil {
+		return Result{}, err
+	}
+	cp, err := replay.LoadCheckpoint(dir)
+	if err != nil {
+		return Result{}, fmt.Errorf("simcheck: cell published no loadable checkpoint: %w", err)
+	}
+	// Phase two: a fresh build of the same cell, bootstrap dropped, resumed
+	// from the published checkpoint. Its recorder starts seeded with the
+	// checkpoint's trace digests, so the folded hashes cover the whole run.
+	inst2, err := spec.build(c, 0)
+	if err != nil {
+		return Result{}, err
+	}
+	sim2, ok := inst2.host.(*core.Simulator)
+	if !ok {
+		return Result{}, fmt.Errorf("simcheck: %T cannot resume", inst2.host)
+	}
+	if err := replay.RestoreCheckpoint(cp, sim2, inst2.rec); err != nil {
+		return Result{}, err
+	}
+	stats, err := inst2.run()
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Cell: c,
+		FP: Fingerprint{
+			Committed: cp.Committed + stats.Committed,
+			TraceLen:  inst2.rec.Len(),
+			TraceHash: inst2.rec.Hash(),
+			LPHashes:  inst2.rec.LPHashes(inst2.numLPs),
+			StateHash: trace.StateHash(inst2.host),
+		},
+		Stats:   stats,
+		Summary: inst2.summary(),
+	}
+	return res, nil
+}

@@ -148,30 +148,29 @@ func (p *publishCell) leak(v int64) {
 }
 
 // ownershipNoise is the MutOwnership wrapper: each event first bumps the
-// executing LP's own ledger slot (legal), then LP 0's handler also pokes
-// slot 1 — a write to a goroutine-owned field from outside its owner's
-// methods, the exact shape ownercheck exists to reject — and leaks a
-// running total through the mis-ordered publishCell. Both writes are
-// confined to LP 0's goroutine so arming the mutation races nothing and
-// perturbs no model state; the bugs are caught statically, not by the
-// oracle.
+// executing LP's own ledger slot (legal — the ledger carries one slot per
+// LP), then LP 0's handler also pokes the trailing sentinel slot by
+// direct field access — a write to a goroutine-owned field from outside
+// its owner's methods, the exact shape ownercheck exists to reject — and
+// leaks a running total through the mis-ordered publishCell. The sentinel
+// slot belongs to no LP, so the seeded write is confined to LP 0's
+// goroutine: arming the mutation races nothing and perturbs no model
+// state; the bugs are caught statically, not by the oracle.
 type ownershipNoise struct {
 	inner  core.Handler
 	ledger []peCounter
 	cell   *publishCell
 }
 
-// ownershipLedgerSlots sizes the shared ledger; slots are indexed modulo,
-// so any LP population maps onto it.
-const ownershipLedgerSlots = 4
-
 func (o ownershipNoise) Forward(lp *core.LP, ev *core.Event) {
 	o.inner.Forward(lp, ev)
-	if n := len(o.ledger); n > 0 {
-		o.ledger[int(lp.ID)%n].bump()
-		if lp.ID == 0 && n > 1 {
-			o.ledger[1].events++ //simlint:crosspe seeded ownership bug: slot 1 belongs to another LP's owner; TestMutationOwnershipDetected asserts ownercheck flags this line
-			o.cell.leak(o.ledger[1].events)
+	if n := len(o.ledger); n > 1 {
+		if i := int(lp.ID); i < n-1 {
+			o.ledger[i].bump()
+		}
+		if lp.ID == 0 {
+			o.ledger[n-1].events++ //simlint:crosspe seeded ownership bug: bypasses the owning slot's bump method; TestMutationOwnershipDetected asserts ownercheck flags this line
+			o.cell.leak(o.ledger[n-1].events)
 		}
 	}
 }

@@ -62,8 +62,10 @@ func TestMutationPublishOrderDetected(t *testing.T) {
 }
 
 // TestMutationOwnershipRunsClean: arming the mutation in a live cell must
-// not diverge — the ledger and cell are diagnostic-only and confined to
-// LP 0's goroutine, so the oracle sees identical committed histories.
+// not diverge — the ledger is diagnostic-only, per-LP slots are bumped
+// only by their owners and the seeded write is confined to LP 0's
+// goroutine, so the oracle sees identical committed histories (and -race
+// sees nothing: the bug is a contract violation, not an actual race).
 // (The detection happens statically, in the two tests above.)
 func TestMutationOwnershipRunsClean(t *testing.T) {
 	rep := Run(Matrix{

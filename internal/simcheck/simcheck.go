@@ -529,9 +529,12 @@ func (in *instance) instrument(c Cell) {
 	var ledger []peCounter
 	var cell *publishCell
 	if c.Mutation == MutOwnership {
-		// One shared ledger across the cell's wrappers, so LP 0's seeded
-		// cross-slot write really does touch another LP's slot.
-		ledger = make([]peCounter, ownershipLedgerSlots)
+		// One shared ledger across the cell's wrappers: one slot per LP
+		// (each bumped only by its owner's PE) plus a trailing sentinel
+		// slot no LP owns, which LP 0's seeded write pokes by direct
+		// field access — the ownercheck bug shape without a second
+		// goroutine ever touching the same slot.
+		ledger = make([]peCounter, in.numLPs+1)
 		cell = &publishCell{}
 	}
 	in.host.ForEachLP(func(lp *core.LP) {

@@ -56,11 +56,21 @@ func u32(src source) uint64 {
 type Episode struct {
 	Index int
 	Cell  simcheck.Cell
+	// Checkpoint routes the episode through a mid-run checkpoint/restore
+	// cut (simcheck.RunCellResumed): the run checkpoints periodically, is
+	// rebuilt from the last published checkpoint, and the composed
+	// fingerprint is held to the same sequential oracle. Optimistic
+	// episodes only.
+	Checkpoint bool
 }
 
 // memBoundOdds is the fraction of optimistic episodes that arm the
 // fossil-collection pressure valve: 1 in memBoundOdds.
 const memBoundOdds = 4
+
+// ckptOdds is the fraction of optimistic episodes that soak the
+// checkpoint/restore path: 1 in ckptOdds.
+const ckptOdds = 8
 
 // nextEpisode draws episode idx from src. Models rotate round-robin (so
 // every model is exercised no matter how short the run); everything else
@@ -70,6 +80,7 @@ const memBoundOdds = 4
 // aggressiveness, and a tight memory budget on a quarter of the optimistic
 // episodes.
 func nextEpisode(src source, idx int, models []string, mutation simcheck.Mutation, paranoid bool) Episode {
+	ckpt := false
 	model := models[idx%len(models)]
 	kinds := eventq.Kinds() // registry order is deterministic, so the draw replays
 	queue := kinds[src.Intn(len(kinds))]
@@ -106,11 +117,15 @@ func nextEpisode(src source, idx int, models []string, mutation simcheck.Mutatio
 			// peaks, so the valve genuinely engages rather than idling.
 			c.MaxLive = 4 + src.Intn(29)
 		}
+		// A slice of optimistic episodes exercise crash recovery: run with
+		// periodic checkpoints, rebuild from the last one, and hold the
+		// composed fingerprint to the same oracle.
+		ckpt = src.Intn(ckptOdds) == 0
 	}
 	// The sequential reference is always clean; every non-sequential cell
 	// carries the armed mutation (if any), mirroring Matrix semantics.
 	c.Mutation = mutation
-	return Episode{Index: idx, Cell: c}
+	return Episode{Index: idx, Cell: c, Checkpoint: ckpt}
 }
 
 // DecodeSchedule expands arbitrary bytes into a short bounded schedule —

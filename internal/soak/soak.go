@@ -20,6 +20,8 @@ import (
 	"hash/fnv"
 	"io"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
@@ -223,13 +225,22 @@ func runEpisode(ep Episode, cfg Config, rep *Report, digest io.Writer, logf func
 		return &Failure{Episode: ep.Index, Cell: refCell,
 			Details: []string{fmt.Sprintf("reference run failed: %v", err)}}
 	}
-	got, err := simcheck.RunCell(c)
+	var got simcheck.Result
+	ckpt := ep.Checkpoint && c.Engine == simcheck.EngOptimistic
+	var ckptDir string
+	if ckpt {
+		if ckptDir, err = ckptDirFor(cfg, ep); err == nil {
+			got, err = simcheck.RunCellResumed(c, ckptDir, 0)
+		}
+	} else {
+		got, err = simcheck.RunCell(c)
+	}
 	rep.Cells++
 	if err != nil {
-		fmt.Fprintf(digest, "episode %d [%s] error\n", ep.Index, c)
+		fmt.Fprintf(digest, "episode %d [%s] ckpt=%v error\n", ep.Index, c, ckpt)
 		logf("FAIL ep %d [%s] run error: %v", ep.Index, c, err)
-		return record(ep, cfg, logf, &Failure{Episode: ep.Index, Cell: c,
-			Details: []string{fmt.Sprintf("run failed: %v", err)}})
+		return record(ep, cfg, logf, keepCkptDir(ckptDir, logf, &Failure{Episode: ep.Index, Cell: c,
+			Details: []string{fmt.Sprintf("run failed: %v", err)}}))
 	}
 	if got.Stats != nil {
 		rep.ForcedRollbacks += got.Stats.ForcedRollbacks
@@ -239,15 +250,44 @@ func runEpisode(ep Episode, cfg Config, rep *Report, digest io.Writer, logf func
 			rep.PeakLivePE = got.Stats.LivePeak
 		}
 	}
-	fmt.Fprintf(digest, "episode %d [%s] ref=%016x/%016x got=%d/%016x/%016x\n",
-		ep.Index, c, ref.FP.TraceHash, ref.FP.StateHash,
+	fmt.Fprintf(digest, "episode %d [%s] ckpt=%v ref=%016x/%016x got=%d/%016x/%016x\n",
+		ep.Index, c, ckpt, ref.FP.TraceHash, ref.FP.StateHash,
 		got.FP.Committed, got.FP.TraceHash, got.FP.StateHash)
 	if diffs := simcheck.Compare(ref.FP, got.FP); len(diffs) > 0 {
 		logf("FAIL ep %d [%s] %s", ep.Index, c, strings.Join(diffs, "; "))
-		return record(ep, cfg, logf, &Failure{Episode: ep.Index, Cell: c, Details: diffs})
+		return record(ep, cfg, logf, keepCkptDir(ckptDir, logf, &Failure{Episode: ep.Index, Cell: c, Details: diffs}))
 	}
-	logf("ok   ep %d [%s] committed=%d", ep.Index, c, got.FP.Committed)
+	if ckptDir != "" {
+		os.RemoveAll(ckptDir)
+	}
+	if ckpt {
+		logf("ok   ep %d [%s] committed=%d (resumed from checkpoint)", ep.Index, c, got.FP.Committed)
+	} else {
+		logf("ok   ep %d [%s] committed=%d", ep.Index, c, got.FP.Committed)
+	}
 	return nil
+}
+
+// ckptDirFor allocates a checkpoint directory for a crash-recovery
+// episode: under the artifact directory when one is configured (so a
+// failing episode's checkpoints survive as evidence), in the system temp
+// directory otherwise. The directory is removed when the episode passes.
+func ckptDirFor(cfg Config, ep Episode) (string, error) {
+	if cfg.ArtifactDir != "" {
+		dir := filepath.Join(cfg.ArtifactDir, fmt.Sprintf("ckpt-ep%04d", ep.Index))
+		return dir, os.MkdirAll(dir, 0o755)
+	}
+	return os.MkdirTemp("", "soak-ckpt-")
+}
+
+// keepCkptDir annotates a failure with the checkpoint directory kept for
+// post-mortem, when the failing episode was a crash-recovery one.
+func keepCkptDir(dir string, logf func(format string, args ...any), f *Failure) *Failure {
+	if dir != "" {
+		logf("keeping checkpoint dir %s for episode %d", dir, f.Episode)
+		f.Details = append(f.Details, fmt.Sprintf("checkpoint dir kept: %s", dir))
+	}
+	return f
 }
 
 // record attaches a shrunk .replay artifact to a failing optimistic

@@ -51,6 +51,15 @@ type Recorder struct {
 	records []Record
 	limit   int
 	dropped int64
+
+	// Seeded prefix (SeedPrefix): a checkpoint-resumed run records only
+	// commits at or beyond the checkpoint's GVT, so the recorder folds its
+	// hashes from the checkpointed prefix digests instead of the FNV offset
+	// basis, and Len counts the prefix records it never saw.
+	seeded     bool
+	prefixLen  int
+	prefixHash uint64
+	prefixLP   []uint64
 }
 
 // NewRecorder returns a recorder holding at most limit records (0 means
@@ -69,11 +78,52 @@ func (r *Recorder) add(rec Record) {
 	r.mu.Unlock()
 }
 
-// Len returns the number of records held.
+// SeedPrefix primes an empty recorder with the digests of a committed
+// trace prefix it will never observe — the below-GVT prefix a checkpoint
+// captured. Every record added afterwards must sort at or after the whole
+// prefix (checkpoint resume guarantees it: resumed commits all have
+// T >= the checkpoint's GVT), so Hash, LPHashes and PrefixHashes remain
+// exact fold continuations of the uninterrupted run's values, and Len
+// counts prefix records as held. PrefixHashes stays valid only for
+// horizons at or beyond the prefix's own horizon — earlier horizons would
+// have to split the prefix, which only its original recorder could do.
+func (r *Recorder) SeedPrefix(length int, hash uint64, lpHashes []uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.seeded || len(r.records) > 0 || r.dropped > 0 {
+		panic("trace: SeedPrefix on a non-empty recorder")
+	}
+	r.seeded = true
+	r.prefixLen = length
+	r.prefixHash = hash
+	r.prefixLP = append([]uint64(nil), lpHashes...)
+}
+
+// hashBasis returns the starting fold value for whole-trace hashes.
+func (r *Recorder) hashBasis() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.seeded {
+		return r.prefixHash
+	}
+	return fnvOffset
+}
+
+// lpBasis returns LP i's starting fold value.
+func (r *Recorder) lpBasis(i int) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.seeded && i < len(r.prefixLP) {
+		return r.prefixLP[i]
+	}
+	return fnvOffset
+}
+
+// Len returns the number of records held, including a seeded prefix's.
 func (r *Recorder) Len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.records)
+	return len(r.records) + r.prefixLen
 }
 
 // Dropped returns how many commits exceeded the limit.
@@ -143,7 +193,7 @@ func (r *Recorder) Hash() uint64 {
 	if r.Dropped() > 0 {
 		panic("trace: Hash on a recorder that dropped records")
 	}
-	h := fnvOffset
+	h := r.hashBasis()
 	for _, rec := range r.Records() {
 		h = fnvRecord(h, rec)
 	}
@@ -166,7 +216,7 @@ func (r *Recorder) PrefixHashes(horizons []core.Time) []uint64 {
 	}
 	recs := r.Records()
 	out := make([]uint64, len(horizons))
-	h := fnvOffset
+	h := r.hashBasis()
 	i := 0
 	for j, hor := range horizons {
 		if j > 0 && hor < horizons[j-1] {
@@ -204,7 +254,7 @@ func (r *Recorder) LPHashes(numLPs int) []uint64 {
 	}
 	hs := make([]uint64, numLPs)
 	for i := range hs {
-		hs[i] = fnvOffset
+		hs[i] = r.lpBasis(i)
 	}
 	for _, rec := range r.Records() {
 		if rec.Dst >= 0 && int(rec.Dst) < numLPs {
